@@ -1,0 +1,55 @@
+//! E1 — counter throughput vs threads (increment-only).
+
+use std::sync::Arc;
+
+use cds_bench::counter_throughput;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_counters");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    const OPS: usize = 20_000;
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("lock", threads), &threads, |b, &t| {
+            b.iter(|| counter_throughput(Arc::new(cds_counter::LockCounter::new()), t, OPS / t))
+        });
+        g.bench_with_input(BenchmarkId::new("atomic", threads), &threads, |b, &t| {
+            b.iter(|| counter_throughput(Arc::new(cds_counter::AtomicCounter::new()), t, OPS / t))
+        });
+        g.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, &t| {
+            b.iter(|| counter_throughput(Arc::new(cds_counter::ShardedCounter::new()), t, OPS / t))
+        });
+        g.bench_with_input(BenchmarkId::new("combining", threads), &threads, |b, &t| {
+            b.iter(|| {
+                counter_throughput(
+                    Arc::new(cds_counter::CombiningTreeCounter::new()),
+                    t,
+                    OPS / t,
+                )
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("flat_combining", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| counter_throughput(Arc::new(cds_counter::FcCounter::new()), t, OPS / t))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! e4_lists — set throughput across read ratios and threads.
+
+use std::sync::Arc;
+
+use cds_bench::{set_throughput, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_lists");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    const OPS: usize = 6_000;
+    for threads in [1usize, 2, 4] {
+        for (read_pct, insert_pct) in [(0u8, 50u8), (50, 25), (90, 5)] {
+            let w = Workload {
+                threads,
+                ops_per_thread: OPS / threads,
+                key_range: 512,
+                read_pct,
+                insert_pct,
+                prefill: (512 / 2) as usize,
+            };
+            g.bench_with_input(
+                BenchmarkId::new("coarse", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::CoarseList::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("fine", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::FineList::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("optimistic", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::OptimisticList::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("lazy", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::LazyList::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("harris_michael", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::HarrisMichaelList::new()), w)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

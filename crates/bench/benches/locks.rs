@@ -1,0 +1,59 @@
+//! E9 — lock acquisition throughput under contention.
+
+use std::sync::Arc;
+
+use cds_bench::lock_throughput;
+use cds_sync::{ClhLock, Lock, McsLock, RawLock, TasLock, TicketLock, TtasLock};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_raw<L: RawLock + 'static>(
+    g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    threads: usize,
+    ops: usize,
+) {
+    g.bench_with_input(BenchmarkId::new(L::NAME, threads), &threads, |b, &t| {
+        b.iter(|| {
+            let lock = Arc::new(Lock::<L, u64>::new(0));
+            lock_throughput(t, ops / t, move || {
+                *lock.lock() += 1;
+            })
+        })
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_locks");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    const OPS: usize = 20_000;
+    for threads in [1usize, 2, 4] {
+        bench_raw::<TasLock>(&mut g, threads, OPS);
+        bench_raw::<TtasLock>(&mut g, threads, OPS);
+        bench_raw::<TicketLock>(&mut g, threads, OPS);
+        bench_raw::<ClhLock>(&mut g, threads, OPS);
+        bench_raw::<McsLock>(&mut g, threads, OPS);
+        g.bench_with_input(BenchmarkId::new("std_mutex", threads), &threads, |b, &t| {
+            b.iter(|| {
+                let lock = Arc::new(std::sync::Mutex::new(0u64));
+                lock_throughput(t, OPS / t, move || {
+                    *lock.lock().unwrap() += 1;
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E5 — hash-map throughput across read ratios and threads.
+
+use std::sync::Arc;
+
+use cds_bench::{map_throughput, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_maps");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    const OPS: usize = 20_000;
+    for threads in [1usize, 2, 4] {
+        for (read_pct, insert_pct) in [(0u8, 50u8), (50, 25), (90, 5)] {
+            let w = Workload {
+                threads,
+                ops_per_thread: OPS / threads,
+                key_range: 65_536,
+                read_pct,
+                insert_pct,
+                prefill: 32_768,
+            };
+            g.bench_with_input(
+                BenchmarkId::new("coarse", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| map_throughput(Arc::new(cds_map::CoarseMap::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("striped", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| map_throughput(Arc::new(cds_map::StripedHashMap::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("split_ordered", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| map_throughput(Arc::new(cds_map::SplitOrderedHashMap::new()), w)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E8 — priority-queue throughput vs threads (50/50 insert/remove-min).
+
+use std::sync::Arc;
+
+use cds_bench::pq_throughput;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_priority_queues");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    const OPS: usize = 10_000;
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("coarse_heap", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| pq_throughput(Arc::new(cds_prio::CoarseBinaryHeap::new()), t, OPS / t))
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("skiplist", threads), &threads, |b, &t| {
+            b.iter(|| pq_throughput(Arc::new(cds_prio::SkipListPriorityQueue::new()), t, OPS / t))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

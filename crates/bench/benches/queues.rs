@@ -1,0 +1,55 @@
+//! E3 — queue throughput vs threads (50/50 enqueue/dequeue).
+
+use std::sync::Arc;
+
+use cds_bench::queue_throughput;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_queues");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    const OPS: usize = 20_000;
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("coarse", threads), &threads, |b, &t| {
+            b.iter(|| queue_throughput(Arc::new(cds_queue::CoarseQueue::new()), t, OPS / t))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("flat_combining", threads),
+            &threads,
+            |b, &t| b.iter(|| queue_throughput(Arc::new(cds_queue::FcQueue::new()), t, OPS / t)),
+        );
+        g.bench_with_input(BenchmarkId::new("two_lock", threads), &threads, |b, &t| {
+            b.iter(|| queue_throughput(Arc::new(cds_queue::TwoLockQueue::new()), t, OPS / t))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("michael_scott", threads),
+            &threads,
+            |b, &t| b.iter(|| queue_throughput(Arc::new(cds_queue::MsQueue::new()), t, OPS / t)),
+        );
+        g.bench_with_input(BenchmarkId::new("bounded", threads), &threads, |b, &t| {
+            b.iter(|| {
+                queue_throughput(
+                    Arc::new(cds_queue::BoundedQueue::with_capacity(1 << 15)),
+                    t,
+                    OPS / t,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E10 — reclamation scheme comparison on Treiber-stack churn:
+//! epoch-based vs hazard pointers vs leaking baseline.
+
+use std::sync::Arc;
+
+use cds_bench::{stack_throughput, LeakyTreiberStack};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_reclaim");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    const OPS: usize = 20_000;
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("epoch", threads), &threads, |b, &t| {
+            b.iter(|| stack_throughput(Arc::new(cds_stack::TreiberStack::new()), t, OPS / t))
+        });
+        g.bench_with_input(BenchmarkId::new("hazard", threads), &threads, |b, &t| {
+            b.iter(|| stack_throughput(Arc::new(cds_stack::HpTreiberStack::new()), t, OPS / t))
+        });
+        g.bench_with_input(BenchmarkId::new("leak", threads), &threads, |b, &t| {
+            b.iter(|| stack_throughput(Arc::new(LeakyTreiberStack::new()), t, OPS / t))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! e6_skiplists — set throughput across read ratios and threads.
+
+use std::sync::Arc;
+
+use cds_bench::{set_throughput, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_skiplists");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    const OPS: usize = 6_000;
+    for threads in [1usize, 2, 4] {
+        for (read_pct, insert_pct) in [(0u8, 50u8), (50, 25), (90, 5)] {
+            let w = Workload {
+                threads,
+                ops_per_thread: OPS / threads,
+                key_range: 65536,
+                read_pct,
+                insert_pct,
+                prefill: (65536 / 2) as usize,
+            };
+            g.bench_with_input(
+                BenchmarkId::new("coarse", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| set_throughput(Arc::new(cds_skiplist::CoarseSkipList::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("lazy", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| b.iter(|| set_throughput(Arc::new(cds_skiplist::LazySkipList::new()), w)),
+            );
+            g.bench_with_input(
+                BenchmarkId::new("lock_free", format!("{threads}thr_{read_pct}r")),
+                &w,
+                |b, &w| {
+                    b.iter(|| set_throughput(Arc::new(cds_skiplist::LockFreeSkipList::new()), w))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

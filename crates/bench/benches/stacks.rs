@@ -1,0 +1,79 @@
+//! E2 — stack throughput vs threads (50/50 push/pop), with the
+//! elimination-parameter ablation.
+
+use std::sync::Arc;
+
+use cds_bench::stack_throughput;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_stacks");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    const OPS: usize = 20_000;
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("coarse", threads), &threads, |b, &t| {
+            b.iter(|| stack_throughput(Arc::new(cds_stack::CoarseStack::new()), t, OPS / t))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("flat_combining", threads),
+            &threads,
+            |b, &t| b.iter(|| stack_throughput(Arc::new(cds_stack::FcStack::new()), t, OPS / t)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("treiber_ebr", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| stack_throughput(Arc::new(cds_stack::TreiberStack::new()), t, OPS / t))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("treiber_hp", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| stack_throughput(Arc::new(cds_stack::HpTreiberStack::new()), t, OPS / t))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("elimination", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    stack_throughput(
+                        Arc::new(cds_stack::EliminationBackoffStack::new()),
+                        t,
+                        OPS / t,
+                    )
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("elimination_1slot", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    stack_throughput(
+                        Arc::new(cds_stack::EliminationBackoffStack::with_params(1, 16)),
+                        t,
+                        OPS / t,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // Plot generation dominates wall-clock on this host; the raw estimates
+    // in bench_output.txt are what EXPERIMENTS.md consumes.
+    Criterion::default().without_plots()
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,394 @@
+//! Regenerates the evaluation tables (experiments E1–E10 of DESIGN.md).
+//!
+//! ```text
+//! cargo run -p cds-bench --release --bin experiments -- all
+//! cargo run -p cds-bench --release --bin experiments -- e4 e5
+//! cargo run -p cds-bench --release --bin experiments -- --quick all
+//! ```
+//!
+//! Output: one Markdown table per experiment, rows = implementations,
+//! columns = thread counts (for ratio sweeps, one table per read ratio).
+//! Numbers are million operations per second (higher is better).
+
+use std::sync::Arc;
+
+use cds_bench::{
+    counter_throughput, lock_throughput, map_throughput, pq_throughput, queue_throughput,
+    set_throughput, stack_throughput, LeakyTreiberStack, Workload,
+};
+use cds_core::ConcurrentStack;
+use cds_sync::RawLock;
+
+const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+struct Scale {
+    ops: usize,
+    list_ops: usize,
+}
+
+fn header(title: &str) {
+    println!("\n### {title}\n");
+    print!("| implementation |");
+    for t in THREAD_SWEEP {
+        print!(" {t} thr |");
+    }
+    println!();
+    print!("|---|");
+    for _ in THREAD_SWEEP {
+        print!("---|");
+    }
+    println!();
+}
+
+fn row(name: &str, cells: &[f64]) {
+    print!("| {name} |");
+    for c in cells {
+        print!(" {c:.3} |");
+    }
+    println!();
+}
+
+fn e1_counters(s: &Scale) {
+    header("E1 — counter throughput (increment-only, Mops/s)");
+    macro_rules! bench {
+        ($name:expr, $ctor:expr) => {{
+            let cells: Vec<f64> = THREAD_SWEEP
+                .iter()
+                .map(|&t| counter_throughput(Arc::new($ctor), t, s.ops / t))
+                .collect();
+            row($name, &cells);
+        }};
+    }
+    bench!("lock", cds_counter::LockCounter::new());
+    bench!("atomic", cds_counter::AtomicCounter::new());
+    bench!("sharded", cds_counter::ShardedCounter::new());
+    bench!("combining-tree", cds_counter::CombiningTreeCounter::new());
+    bench!("flat-combining", cds_counter::FcCounter::new());
+}
+
+fn e2_stacks(s: &Scale) {
+    header("E2 — stack throughput (50/50 push/pop, Mops/s)");
+    macro_rules! bench {
+        ($name:expr, $ctor:expr) => {{
+            let cells: Vec<f64> = THREAD_SWEEP
+                .iter()
+                .map(|&t| stack_throughput(Arc::new($ctor), t, s.ops / t))
+                .collect();
+            row($name, &cells);
+        }};
+    }
+    bench!("coarse", cds_stack::CoarseStack::new());
+    bench!("flat-combining", cds_stack::FcStack::new());
+    bench!("treiber (EBR)", cds_stack::TreiberStack::new());
+    bench!("treiber (HP)", cds_stack::HpTreiberStack::new());
+    bench!("elimination", cds_stack::EliminationBackoffStack::new());
+    // Ablation (DESIGN.md decision #4): elimination parameters.
+    bench!(
+        "elimination (1 slot, 16 spins)",
+        cds_stack::EliminationBackoffStack::with_params(1, 16)
+    );
+    bench!(
+        "elimination (8 slots, 256 spins)",
+        cds_stack::EliminationBackoffStack::with_params(8, 256)
+    );
+}
+
+fn e3_queues(s: &Scale) {
+    header("E3 — queue throughput (50/50 enq/deq, Mops/s)");
+    macro_rules! bench {
+        ($name:expr, $ctor:expr) => {{
+            let cells: Vec<f64> = THREAD_SWEEP
+                .iter()
+                .map(|&t| queue_throughput(Arc::new($ctor), t, s.ops / t))
+                .collect();
+            row($name, &cells);
+        }};
+    }
+    bench!("coarse", cds_queue::CoarseQueue::new());
+    bench!("flat-combining", cds_queue::FcQueue::new());
+    bench!("two-lock", cds_queue::TwoLockQueue::new());
+    bench!("michael-scott", cds_queue::MsQueue::new());
+    bench!(
+        "bounded (vyukov)",
+        cds_queue::BoundedQueue::with_capacity(1 << 16)
+    );
+}
+
+fn ratio_sweep_sets<F>(title: &str, ops: usize, key_range: u64, mut make_rows: F)
+where
+    F: FnMut(Workload) -> Vec<(String, f64)>,
+{
+    for &(read_pct, insert_pct, label) in &[
+        (0u8, 50u8, "0% reads"),
+        (50, 25, "50% reads"),
+        (90, 5, "90% reads"),
+    ] {
+        header(&format!("{title} — {label}"));
+        // Collect per-implementation rows across the thread sweep.
+        let mut table: Vec<(String, Vec<f64>)> = Vec::new();
+        for &t in THREAD_SWEEP {
+            let w = Workload {
+                threads: t,
+                ops_per_thread: ops / t,
+                key_range,
+                read_pct,
+                insert_pct,
+                prefill: (key_range / 2) as usize,
+            };
+            for (i, (name, mops)) in make_rows(w).into_iter().enumerate() {
+                if table.len() <= i {
+                    table.push((name, Vec::new()));
+                }
+                table[i].1.push(mops);
+            }
+        }
+        for (name, cells) in &table {
+            row(name, cells);
+        }
+    }
+}
+
+fn e4_lists(s: &Scale) {
+    ratio_sweep_sets("E4 — list-based sets (Mops/s)", s.list_ops, 512, |w| {
+        vec![
+            (
+                "coarse".into(),
+                set_throughput(Arc::new(cds_list::CoarseList::new()), w),
+            ),
+            (
+                "fine (hand-over-hand)".into(),
+                set_throughput(Arc::new(cds_list::FineList::new()), w),
+            ),
+            (
+                "optimistic".into(),
+                set_throughput(Arc::new(cds_list::OptimisticList::new()), w),
+            ),
+            (
+                "lazy".into(),
+                set_throughput(Arc::new(cds_list::LazyList::new()), w),
+            ),
+            (
+                "harris-michael".into(),
+                set_throughput(Arc::new(cds_list::HarrisMichaelList::new()), w),
+            ),
+        ]
+    });
+}
+
+fn e5_maps(s: &Scale) {
+    ratio_sweep_sets("E5 — hash maps (Mops/s)", s.ops, 65_536, |w| {
+        vec![
+            (
+                "coarse".into(),
+                map_throughput(Arc::new(cds_map::CoarseMap::new()), w),
+            ),
+            (
+                "striped".into(),
+                map_throughput(Arc::new(cds_map::StripedHashMap::new()), w),
+            ),
+            (
+                "split-ordered".into(),
+                map_throughput(Arc::new(cds_map::SplitOrderedHashMap::new()), w),
+            ),
+        ]
+    });
+}
+
+fn e6_skiplists(s: &Scale) {
+    ratio_sweep_sets("E6 — skiplist sets (Mops/s)", s.ops, 65_536, |w| {
+        vec![
+            (
+                "coarse".into(),
+                set_throughput(Arc::new(cds_skiplist::CoarseSkipList::new()), w),
+            ),
+            (
+                "lazy".into(),
+                set_throughput(Arc::new(cds_skiplist::LazySkipList::new()), w),
+            ),
+            (
+                "lock-free".into(),
+                set_throughput(Arc::new(cds_skiplist::LockFreeSkipList::new()), w),
+            ),
+        ]
+    });
+}
+
+fn e7_trees(s: &Scale) {
+    ratio_sweep_sets("E7 — binary search trees (Mops/s)", s.ops, 65_536, |w| {
+        vec![
+            (
+                "coarse".into(),
+                set_throughput(Arc::new(cds_tree::CoarseBst::new()), w),
+            ),
+            (
+                "fine (external)".into(),
+                set_throughput(Arc::new(cds_tree::FineBst::new()), w),
+            ),
+            (
+                "ellen (lock-free)".into(),
+                set_throughput(Arc::new(cds_tree::LockFreeBst::new()), w),
+            ),
+        ]
+    });
+}
+
+fn e8_priority_queues(s: &Scale) {
+    header("E8 — priority queues (50/50 insert/remove-min, Mops/s)");
+    macro_rules! bench {
+        ($name:expr, $ctor:expr) => {{
+            let cells: Vec<f64> = THREAD_SWEEP
+                .iter()
+                .map(|&t| pq_throughput(Arc::new($ctor), t, s.ops / t))
+                .collect();
+            row($name, &cells);
+        }};
+    }
+    bench!("coarse-heap", cds_prio::CoarseBinaryHeap::new());
+    bench!(
+        "skiplist (lotan-shavit)",
+        cds_prio::SkipListPriorityQueue::new()
+    );
+}
+
+fn e9_locks(s: &Scale) {
+    header("E9 — lock acquisition under contention (M acquisitions/s)");
+
+    fn bench_raw<L: RawLock + 'static>(ops: usize) -> Vec<f64> {
+        THREAD_SWEEP
+            .iter()
+            .map(|&t| {
+                let lock = Arc::new(cds_sync::Lock::<L, u64>::new(0));
+                lock_throughput(t, ops / t, move || {
+                    *lock.lock() += 1;
+                })
+            })
+            .collect()
+    }
+
+    row("tas", &bench_raw::<cds_sync::TasLock>(s.ops));
+    row("ttas+backoff", &bench_raw::<cds_sync::TtasLock>(s.ops));
+    row("ticket", &bench_raw::<cds_sync::TicketLock>(s.ops));
+    row("clh", &bench_raw::<cds_sync::ClhLock>(s.ops));
+    row("mcs", &bench_raw::<cds_sync::McsLock>(s.ops));
+
+    let std_cells: Vec<f64> = THREAD_SWEEP
+        .iter()
+        .map(|&t| {
+            let lock = Arc::new(std::sync::Mutex::new(0u64));
+            lock_throughput(t, s.ops / t, move || {
+                *lock.lock().unwrap() += 1;
+            })
+        })
+        .collect();
+    row("std::sync::Mutex", &std_cells);
+
+    let pl_cells: Vec<f64> = THREAD_SWEEP
+        .iter()
+        .map(|&t| {
+            let lock = Arc::new(parking_lot::Mutex::new(0u64));
+            lock_throughput(t, s.ops / t, move || {
+                *lock.lock() += 1;
+            })
+        })
+        .collect();
+    row("parking_lot::Mutex", &pl_cells);
+}
+
+fn e10_reclamation(s: &Scale) {
+    header("E10 — reclamation schemes on Treiber push/pop churn (Mops/s)");
+    macro_rules! bench {
+        ($name:expr, $ctor:expr) => {{
+            let cells: Vec<f64> = THREAD_SWEEP
+                .iter()
+                .map(|&t| stack_throughput(Arc::new($ctor), t, s.ops / t))
+                .collect();
+            row($name, &cells);
+        }};
+    }
+    bench!("epoch (EBR)", cds_stack::TreiberStack::new());
+    bench!("hazard pointers", cds_stack::HpTreiberStack::new());
+    bench!("leak (no reclamation)", LeakyTreiberStack::new());
+
+    // Bounded-garbage evidence for HP: churn hard, then report backlog.
+    let hp = Arc::new(cds_stack::HpTreiberStack::new());
+    for i in 0..100_000u64 {
+        hp.push(i);
+        std::hint::black_box(hp.pop());
+    }
+    println!(
+        "\nHP garbage backlog after 100k churn ops: {} nodes (bounded by design)",
+        hp.garbage_len()
+    );
+    let collector_epoch = {
+        let c = cds_reclaim::epoch::Collector::new();
+        c.collect();
+        c.epoch()
+    };
+    let _ = collector_epoch;
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let run_all = wanted.is_empty() || wanted.iter().any(|a| a == "all");
+    let want = |id: &str| run_all || wanted.iter().any(|a| a == id);
+
+    let scale = if quick {
+        Scale {
+            ops: 40_000,
+            list_ops: 8_000,
+        }
+    } else {
+        Scale {
+            ops: 400_000,
+            list_ops: 40_000,
+        }
+    };
+
+    println!("# cds experiment tables");
+    println!(
+        "\nhost: {} hardware threads; sweep {:?}; {} ops/experiment{}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        THREAD_SWEEP,
+        scale.ops,
+        if quick { " (--quick)" } else { "" }
+    );
+
+    if want("e1") {
+        e1_counters(&scale);
+    }
+    if want("e2") {
+        e2_stacks(&scale);
+    }
+    if want("e3") {
+        e3_queues(&scale);
+    }
+    if want("e4") {
+        e4_lists(&scale);
+    }
+    if want("e5") {
+        e5_maps(&scale);
+    }
+    if want("e6") {
+        e6_skiplists(&scale);
+    }
+    if want("e7") {
+        e7_trees(&scale);
+    }
+    if want("e8") {
+        e8_priority_queues(&scale);
+    }
+    if want("e9") {
+        e9_locks(&scale);
+    }
+    if want("e10") {
+        e10_reclamation(&scale);
+    }
+}

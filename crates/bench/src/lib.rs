@@ -1,0 +1,398 @@
+//! Benchmark harness for the `cds` family.
+//!
+//! This crate regenerates the evaluation tables of DESIGN.md (experiments
+//! E1–E10): workload generators, a thread-sweep driver, and helpers shared
+//! by the Criterion benches (`benches/`) and the table-printing
+//! [`experiments`](../src/bin/experiments.rs) binary:
+//!
+//! ```text
+//! cargo run -p cds-bench --release --bin experiments -- all
+//! cargo bench -p cds-bench --bench lists
+//! ```
+//!
+//! Methodology (standard for the literature): prefill the structure, run a
+//! fixed operation count per thread of a randomized operation mix drawn
+//! from a per-thread xorshift stream, and report million operations per
+//! second of wall-clock time. Threads synchronize on a barrier so ramp-up
+//! is excluded.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use cds_core::{
+    ConcurrentCounter, ConcurrentMap, ConcurrentPriorityQueue, ConcurrentQueue, ConcurrentSet,
+    ConcurrentStack,
+};
+
+/// A mixed-operation workload description.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Percentage of read (contains/get) operations.
+    pub read_pct: u8,
+    /// Percentage of insert operations (the rest are removes).
+    pub insert_pct: u8,
+    /// Number of keys inserted before timing starts.
+    pub prefill: usize,
+}
+
+impl Workload {
+    /// A small default suitable for Criterion iterations.
+    pub fn small(threads: usize) -> Self {
+        Workload {
+            threads,
+            ops_per_thread: 10_000,
+            key_range: 1024,
+            read_pct: 50,
+            insert_pct: 25,
+            prefill: 512,
+        }
+    }
+}
+
+/// Simple xorshift64* stream, one per thread, so workloads are
+/// reproducible and allocation-free.
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Creates a stream; `seed` must be non-zero (0 is remapped).
+    pub fn new(seed: u64) -> Self {
+        XorShift(seed.max(1).wrapping_mul(0x9e3779b97f4a7c15) | 1)
+    }
+
+    /// Next pseudo-random value.
+    #[inline]
+    pub fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn run_threads<F>(threads: usize, total_ops: usize, body: F) -> f64
+where
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let barrier = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let body = Arc::clone(&body);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Workers report their own (start, end): on an
+                // oversubscribed host the coordinating thread may not be
+                // rescheduled until workers finish, so any centrally
+                // measured clock mis-counts. The workload span is
+                // max(end) − min(start) across workers.
+                let start = Instant::now();
+                body(t);
+                (start, Instant::now())
+            })
+        })
+        .collect();
+    let stamps: Vec<(Instant, Instant)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first_start = stamps.iter().map(|(s, _)| *s).min().expect("non-empty");
+    let last_end = stamps.iter().map(|(_, e)| *e).max().expect("non-empty");
+    let span = last_end.duration_since(first_start).as_secs_f64();
+    total_ops as f64 / span / 1e6
+}
+
+/// Runs a read/insert/remove mix against a set; returns Mops/s.
+pub fn set_throughput<S>(set: Arc<S>, w: Workload) -> f64
+where
+    S: ConcurrentSet<u64> + 'static,
+{
+    let mut rng = XorShift::new(42);
+    let mut inserted = 0usize;
+    while inserted < w.prefill {
+        if set.insert(rng.next() % w.key_range) {
+            inserted += 1;
+        }
+        if w.prefill as u64 > w.key_range {
+            break; // range too small to ever finish
+        }
+    }
+    let set2 = Arc::clone(&set);
+    run_threads(w.threads, w.threads * w.ops_per_thread, move |t| {
+        let mut rng = XorShift::new(t as u64 + 1);
+        for _ in 0..w.ops_per_thread {
+            let k = rng.next() % w.key_range;
+            let dice = (rng.next() % 100) as u8;
+            if dice < w.read_pct {
+                std::hint::black_box(set2.contains(&k));
+            } else if dice < w.read_pct + w.insert_pct {
+                std::hint::black_box(set2.insert(k));
+            } else {
+                std::hint::black_box(set2.remove(&k));
+            }
+        }
+    })
+}
+
+/// Runs a get/insert/remove mix against a map; returns Mops/s.
+pub fn map_throughput<M>(map: Arc<M>, w: Workload) -> f64
+where
+    M: ConcurrentMap<u64, u64> + 'static,
+{
+    let mut rng = XorShift::new(42);
+    let mut inserted = 0usize;
+    while inserted < w.prefill {
+        let k = rng.next() % w.key_range;
+        if map.insert(k, k) {
+            inserted += 1;
+        }
+        if w.prefill as u64 > w.key_range {
+            break;
+        }
+    }
+    let map2 = Arc::clone(&map);
+    run_threads(w.threads, w.threads * w.ops_per_thread, move |t| {
+        let mut rng = XorShift::new(t as u64 + 1);
+        for _ in 0..w.ops_per_thread {
+            let k = rng.next() % w.key_range;
+            let dice = (rng.next() % 100) as u8;
+            if dice < w.read_pct {
+                std::hint::black_box(map2.get(&k));
+            } else if dice < w.read_pct + w.insert_pct {
+                std::hint::black_box(map2.insert(k, k));
+            } else {
+                std::hint::black_box(map2.remove(&k));
+            }
+        }
+    })
+}
+
+/// Runs a 50/50 push/pop mix against a stack; returns Mops/s.
+pub fn stack_throughput<S>(stack: Arc<S>, threads: usize, ops_per_thread: usize) -> f64
+where
+    S: ConcurrentStack<u64> + 'static,
+{
+    for i in 0..1024 {
+        stack.push(i);
+    }
+    let stack2 = Arc::clone(&stack);
+    run_threads(threads, threads * ops_per_thread, move |t| {
+        let mut rng = XorShift::new(t as u64 + 1);
+        for _ in 0..ops_per_thread {
+            if rng.next().is_multiple_of(2) {
+                stack2.push(t as u64);
+            } else {
+                std::hint::black_box(stack2.pop());
+            }
+        }
+    })
+}
+
+/// Runs a 50/50 enqueue/dequeue mix against a queue; returns Mops/s.
+pub fn queue_throughput<Q>(queue: Arc<Q>, threads: usize, ops_per_thread: usize) -> f64
+where
+    Q: ConcurrentQueue<u64> + 'static,
+{
+    for i in 0..1024 {
+        queue.enqueue(i);
+    }
+    let queue2 = Arc::clone(&queue);
+    run_threads(threads, threads * ops_per_thread, move |t| {
+        let mut rng = XorShift::new(t as u64 + 1);
+        for _ in 0..ops_per_thread {
+            if rng.next().is_multiple_of(2) {
+                queue2.enqueue(t as u64);
+            } else {
+                std::hint::black_box(queue2.dequeue());
+            }
+        }
+    })
+}
+
+/// Runs increment-only traffic against a counter; returns Mops/s.
+pub fn counter_throughput<C>(counter: Arc<C>, threads: usize, ops_per_thread: usize) -> f64
+where
+    C: ConcurrentCounter + 'static,
+{
+    let counter2 = Arc::clone(&counter);
+    run_threads(threads, threads * ops_per_thread, move |_| {
+        for _ in 0..ops_per_thread {
+            counter2.increment();
+        }
+    })
+}
+
+/// Runs a 50/50 insert/remove-min mix against a priority queue; returns
+/// Mops/s.
+pub fn pq_throughput<P>(pq: Arc<P>, threads: usize, ops_per_thread: usize) -> f64
+where
+    P: ConcurrentPriorityQueue<u64> + 'static,
+{
+    let mut rng = XorShift::new(7);
+    for _ in 0..4096 {
+        pq.insert(rng.next() % 1_000_000);
+    }
+    let pq2 = Arc::clone(&pq);
+    run_threads(threads, threads * ops_per_thread, move |t| {
+        let mut rng = XorShift::new(t as u64 + 1);
+        for _ in 0..ops_per_thread {
+            if rng.next().is_multiple_of(2) {
+                std::hint::black_box(pq2.insert(rng.next() % 1_000_000));
+            } else {
+                std::hint::black_box(pq2.remove_min());
+            }
+        }
+    })
+}
+
+/// Lock acquisition throughput: `threads` threads repeatedly lock, bump a
+/// shared counter, and unlock. `lock_incr` performs exactly one
+/// lock-protected increment. Returns M acquisitions/s.
+pub fn lock_throughput<F>(threads: usize, ops_per_thread: usize, lock_incr: F) -> f64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    run_threads(threads, threads * ops_per_thread, move |_| {
+        for _ in 0..ops_per_thread {
+            lock_incr();
+        }
+    })
+}
+
+/// A Treiber stack that **never frees popped nodes** — the reclamation
+/// experiment's upper-bound baseline (E10): all the algorithm, none of the
+/// reclamation cost, unbounded leak.
+#[derive(Debug)]
+pub struct LeakyTreiberStack<T> {
+    head: AtomicPtr<LeakyNode<T>>,
+}
+
+#[derive(Debug)]
+struct LeakyNode<T> {
+    value: Option<T>,
+    next: *mut LeakyNode<T>,
+}
+
+// SAFETY: values move by `T: Send`; nodes are intentionally leaked, so no
+// use-after-free is possible.
+unsafe impl<T: Send> Send for LeakyTreiberStack<T> {}
+unsafe impl<T: Send> Sync for LeakyTreiberStack<T> {}
+
+impl<T> LeakyTreiberStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        LeakyTreiberStack {
+            head: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+impl<T> Default for LeakyTreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> ConcurrentStack<T> for LeakyTreiberStack<T> {
+    const NAME: &'static str = "treiber-leak";
+
+    fn push(&self, value: T) {
+        let node = Box::into_raw(Box::new(LeakyNode {
+            value: Some(value),
+            next: std::ptr::null_mut(),
+        }));
+        loop {
+            let head = self.head.load(Ordering::Relaxed);
+            // SAFETY: unpublished.
+            unsafe { (*node).next = head };
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<T> {
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if head.is_null() {
+                return None;
+            }
+            // SAFETY: nodes are never freed, so this is always valid (the
+            // entire point of the leaking baseline).
+            let next = unsafe { (*head).next };
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: CAS winner takes the value; node itself leaks.
+                return unsafe { (*head).value.take() };
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire).is_null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift::new(1);
+        let mut b = XorShift::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn set_throughput_reports_positive_rate() {
+        let set = Arc::new(cds_list::LazyList::new());
+        let mops = set_throughput(
+            set,
+            Workload {
+                threads: 2,
+                ops_per_thread: 1_000,
+                key_range: 64,
+                read_pct: 50,
+                insert_pct: 25,
+                prefill: 32,
+            },
+        );
+        assert!(mops > 0.0);
+    }
+
+    #[test]
+    fn leaky_stack_is_a_working_stack() {
+        let s = LeakyTreiberStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn counter_throughput_counts_everything() {
+        let c = Arc::new(cds_counter::AtomicCounter::new());
+        let mops = counter_throughput(Arc::clone(&c), 2, 5_000);
+        assert!(mops > 0.0);
+        use cds_core::ConcurrentCounter;
+        assert_eq!(c.get(), 10_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Sentinel-extended keys for ordered structures with head/tail sentinels.
+
+use std::cmp::Ordering;
+
+/// A key extended with −∞ and +∞ sentinels.
+///
+/// Ordered structures (lists, skiplists, trees) keep permanent head (−∞)
+/// and sometimes tail (+∞) sentinel nodes so every real node has a
+/// predecessor and successor; `Bound` gives those sentinels a total order
+/// against real keys without requiring `T` itself to have extreme values.
+///
+/// # Example
+///
+/// ```
+/// use cds_core::Bound;
+///
+/// assert!(Bound::NegInf < Bound::Finite(i64::MIN));
+/// assert!(Bound::Finite(i64::MAX) < Bound::PosInf);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound<T> {
+    /// Less than every finite key.
+    NegInf,
+    /// An ordinary key.
+    Finite(T),
+    /// Greater than every finite key.
+    PosInf,
+}
+
+impl<T> Bound<T> {
+    /// Returns the finite key, if this is one.
+    pub fn finite(&self) -> Option<&T> {
+        match self {
+            Bound::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Consumes the bound, returning the finite key if present.
+    pub fn into_finite(self) -> Option<T> {
+        match self {
+            Bound::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Ord> Bound<T> {
+    /// Compares against a finite key.
+    pub fn cmp_key(&self, key: &T) -> Ordering {
+        match self {
+            Bound::NegInf => Ordering::Less,
+            Bound::Finite(v) => v.cmp(key),
+            Bound::PosInf => Ordering::Greater,
+        }
+    }
+}
+
+impl<T: Ord> PartialOrd for Bound<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord> Ord for Bound<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Bound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_with_sentinels() {
+        assert!(Bound::NegInf < Bound::Finite(i32::MIN));
+        assert!(Bound::Finite(i32::MAX) < Bound::PosInf);
+        assert!(Bound::Finite(1) < Bound::Finite(2));
+        assert_eq!(Bound::Finite(3), Bound::Finite(3));
+        assert!(Bound::<i32>::NegInf < Bound::PosInf);
+    }
+
+    #[test]
+    fn cmp_key_matches_order() {
+        assert_eq!(Bound::NegInf.cmp_key(&5), Ordering::Less);
+        assert_eq!(Bound::PosInf.cmp_key(&5), Ordering::Greater);
+        assert_eq!(Bound::Finite(5).cmp_key(&5), Ordering::Equal);
+        assert_eq!(Bound::Finite(4).cmp_key(&5), Ordering::Less);
+    }
+
+    #[test]
+    fn finite_accessors() {
+        assert_eq!(Bound::Finite(7).finite(), Some(&7));
+        assert_eq!(Bound::<i32>::PosInf.finite(), None);
+        assert_eq!(Bound::Finite(7).into_finite(), Some(7));
+        assert_eq!(Bound::<i32>::NegInf.into_finite(), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Executable linearizability checking (Herlihy & Wing, 1990).
+//!
+//! Linearizability is the correctness criterion for every structure in
+//! this family: each operation must appear to take effect atomically at
+//! some instant between its invocation and its response. This crate makes
+//! the criterion *executable* for the test suite:
+//!
+//! 1. wrap concurrent calls in a [`Recorder`], which timestamps each
+//!    operation's invocation and response with a global atomic clock;
+//! 2. describe the abstract type with a sequential [`Spec`] (specs for
+//!    stacks, queues, sets, registers and counters ship in [`specs`]);
+//! 3. ask [`check_linearizable`] whether *any* sequential order of the
+//!    recorded operations (a) respects the real-time order — an operation
+//!    that returned before another was invoked must come first — and
+//!    (b) makes the spec reproduce every recorded result.
+//!
+//! The search is the Wing–Gong algorithm: depth-first over the orders that
+//! respect real time, backtracking when the spec disagrees. It is
+//! exponential in the worst case, so keep recorded windows small (the
+//! suite uses ≤ ~16 operations per window, which checks in microseconds).
+//!
+//! # Example
+//!
+//! ```
+//! use cds_lincheck::{check_linearizable, Recorder};
+//! use cds_lincheck::specs::{RegisterOp, RegisterSpec};
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicI64, Ordering};
+//!
+//! let reg = Arc::new(AtomicI64::new(0));
+//! let recorder = Arc::new(Recorder::new());
+//! let handles: Vec<_> = (0..2)
+//!     .map(|i| {
+//!         let reg = Arc::clone(&reg);
+//!         let recorder = Arc::clone(&recorder);
+//!         std::thread::spawn(move || {
+//!             recorder.record(RegisterOp::Write(i + 1), || {
+//!                 reg.store(i + 1, Ordering::SeqCst);
+//!                 0
+//!             });
+//!             recorder.record(RegisterOp::Read, || reg.load(Ordering::SeqCst));
+//!         })
+//!     })
+//!     .collect();
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! let history = Arc::try_unwrap(recorder).unwrap().into_history();
+//! assert!(check_linearizable(RegisterSpec::default(), &history));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod specs;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A sequential specification of an abstract data type.
+///
+/// `apply` runs one operation against the abstract state and returns the
+/// result the sequential type would produce. The checker clones the state
+/// while backtracking, so keep it small.
+pub trait Spec: Clone {
+    /// Operation descriptions (inputs).
+    type Op;
+    /// Operation results; compared against the recorded outputs.
+    type Res: PartialEq;
+
+    /// Applies `op` to the state, returning the sequential result.
+    fn apply(&mut self, op: &Self::Op) -> Self::Res;
+}
+
+/// One completed operation in a recorded history.
+#[derive(Debug, Clone)]
+pub struct Operation<Op, Res> {
+    /// What was invoked.
+    pub op: Op,
+    /// What it returned.
+    pub result: Res,
+    /// Logical invocation time.
+    pub call: u64,
+    /// Logical response time (`> call`).
+    pub ret: u64,
+}
+
+/// Timestamps concurrent operations to build a checkable history.
+///
+/// Thread-safe: share it (e.g. in an `Arc`) among the worker threads and
+/// wrap every operation in [`record`](Recorder::record).
+pub struct Recorder<Op, Res> {
+    clock: AtomicU64,
+    ops: Mutex<Vec<Operation<Op, Res>>>,
+}
+
+impl<Op, Res> Recorder<Op, Res> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            clock: AtomicU64::new(0),
+            ops: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Runs `f`, recording `op` with invocation/response timestamps and
+    /// the produced result. Returns the result to the caller.
+    pub fn record(&self, op: Op, f: impl FnOnce() -> Res) -> Res
+    where
+        Res: Clone,
+    {
+        let call = self.clock.fetch_add(1, Ordering::SeqCst);
+        let result = f();
+        let ret = self.clock.fetch_add(1, Ordering::SeqCst);
+        self.ops.lock().unwrap().push(Operation {
+            op,
+            result: result.clone(),
+            call,
+            ret,
+        });
+        result
+    }
+
+    /// Finishes recording, returning the completed history.
+    pub fn into_history(self) -> Vec<Operation<Op, Res>> {
+        self.ops.into_inner().unwrap()
+    }
+}
+
+impl<Op, Res> Default for Recorder<Op, Res> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Op, Res> fmt::Debug for Recorder<Op, Res> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("recorded", &self.ops.lock().unwrap().len())
+            .finish()
+    }
+}
+
+/// Checks whether `history` is linearizable with respect to `spec`.
+///
+/// Wing–Gong search: try, in turn, every operation that is *minimal* in
+/// the real-time order (no other pending operation returned before it was
+/// invoked), apply it to a copy of the spec state, and recurse; succeed
+/// when every operation has been placed with matching results.
+///
+/// Worst-case exponential; intended for small windows (≤ ~16 operations).
+pub fn check_linearizable<S: Spec>(spec: S, history: &[Operation<S::Op, S::Res>]) -> bool {
+    let n = history.len();
+    assert!(
+        n <= 24,
+        "history too large for exhaustive checking ({n} ops); record smaller windows"
+    );
+    let mut remaining: Vec<usize> = (0..n).collect();
+    dfs(&spec, &mut remaining, history)
+}
+
+fn dfs<S: Spec>(
+    spec: &S,
+    remaining: &mut Vec<usize>,
+    history: &[Operation<S::Op, S::Res>],
+) -> bool {
+    if remaining.is_empty() {
+        return true;
+    }
+    // Minimal operations: i such that no other remaining j returned before
+    // i was invoked (otherwise j must be linearized first).
+    for idx in 0..remaining.len() {
+        let i = remaining[idx];
+        let minimal = remaining
+            .iter()
+            .all(|&j| j == i || history[j].ret > history[i].call);
+        if !minimal {
+            continue;
+        }
+        let mut next = spec.clone();
+        if next.apply(&history[i].op) == history[i].result {
+            remaining.swap_remove(idx);
+            if dfs(&next, remaining, history) {
+                return true;
+            }
+            // Restore `remaining` (swap_remove moved the tail element in).
+            remaining.push(i);
+            let last = remaining.len() - 1;
+            remaining.swap(idx, last);
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::specs::*;
+    use super::*;
+
+    fn op<OpT, ResT>(op: OpT, result: ResT, call: u64, ret: u64) -> Operation<OpT, ResT> {
+        Operation {
+            op,
+            result,
+            call,
+            ret,
+        }
+    }
+
+    #[test]
+    fn sequential_counter_history_accepts() {
+        let h = vec![op(CounterOp::Add(1), 0, 0, 1), op(CounterOp::Get, 1, 2, 3)];
+        assert!(check_linearizable(CounterSpec::default(), &h));
+    }
+
+    #[test]
+    fn wrong_result_rejects() {
+        let h = vec![op(CounterOp::Add(1), 0, 0, 1), op(CounterOp::Get, 5, 2, 3)];
+        assert!(!check_linearizable(CounterSpec::default(), &h));
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // Get returned 0 strictly AFTER Add completed: not linearizable.
+        let h = vec![op(CounterOp::Add(1), 0, 0, 1), op(CounterOp::Get, 0, 2, 3)];
+        assert!(!check_linearizable(CounterSpec::default(), &h));
+        // But a Get overlapping the Add may legally return 0.
+        let h = vec![op(CounterOp::Add(1), 0, 0, 3), op(CounterOp::Get, 0, 1, 2)];
+        assert!(check_linearizable(CounterSpec::default(), &h));
+    }
+
+    #[test]
+    fn concurrent_stack_pops_commute() {
+        // Two overlapping pushes then two overlapping pops that see them in
+        // the opposite order: linearizable (the pushes overlap).
+        let h = vec![
+            op(StackOp::Push(1), StackRes::Pushed, 0, 3),
+            op(StackOp::Push(2), StackRes::Pushed, 1, 2),
+            op(StackOp::Pop, StackRes::Popped(Some(1)), 4, 5),
+            op(StackOp::Pop, StackRes::Popped(Some(2)), 6, 7),
+        ];
+        assert!(check_linearizable(StackSpec::default(), &h));
+    }
+
+    #[test]
+    fn stack_lifo_violation_rejects() {
+        // Sequential pushes (non-overlapping) must pop in LIFO order.
+        let h = vec![
+            op(StackOp::Push(1), StackRes::Pushed, 0, 1),
+            op(StackOp::Push(2), StackRes::Pushed, 2, 3),
+            op(StackOp::Pop, StackRes::Popped(Some(1)), 4, 5),
+            op(StackOp::Pop, StackRes::Popped(Some(2)), 6, 7),
+        ];
+        assert!(!check_linearizable(StackSpec::default(), &h));
+    }
+
+    #[test]
+    fn queue_fifo_is_checked() {
+        let good = vec![
+            op(QueueOp::Enqueue(1), QueueRes::Enqueued, 0, 1),
+            op(QueueOp::Enqueue(2), QueueRes::Enqueued, 2, 3),
+            op(QueueOp::Dequeue, QueueRes::Dequeued(Some(1)), 4, 5),
+        ];
+        assert!(check_linearizable(QueueSpec::default(), &good));
+        let bad = vec![
+            op(QueueOp::Enqueue(1), QueueRes::Enqueued, 0, 1),
+            op(QueueOp::Enqueue(2), QueueRes::Enqueued, 2, 3),
+            op(QueueOp::Dequeue, QueueRes::Dequeued(Some(2)), 4, 5),
+        ];
+        assert!(!check_linearizable(QueueSpec::default(), &bad));
+    }
+
+    #[test]
+    fn set_duplicate_insert_semantics() {
+        let h = vec![
+            op(SetOp::Insert(7), true, 0, 1),
+            op(SetOp::Insert(7), false, 2, 3),
+            op(SetOp::Remove(7), true, 4, 5),
+            op(SetOp::Contains(7), false, 6, 7),
+        ];
+        assert!(check_linearizable(SetSpec::default(), &h));
+        // Two non-overlapping successful inserts of the same key: illegal.
+        let bad = vec![
+            op(SetOp::Insert(7), true, 0, 1),
+            op(SetOp::Insert(7), true, 2, 3),
+        ];
+        assert!(!check_linearizable(SetSpec::default(), &bad));
+    }
+
+    #[test]
+    fn recorder_round_trip() {
+        let r: Recorder<CounterOp, i64> = Recorder::new();
+        let out = r.record(CounterOp::Add(5), || 0);
+        assert_eq!(out, 0);
+        r.record(CounterOp::Get, || 5);
+        let h = r.into_history();
+        assert_eq!(h.len(), 2);
+        assert!(h[0].call < h[0].ret);
+        assert!(check_linearizable(CounterSpec::default(), &h));
+    }
+
+    #[test]
+    #[should_panic(expected = "history too large")]
+    fn oversized_history_panics() {
+        let h: Vec<Operation<CounterOp, i64>> = (0..30)
+            .map(|i| op(CounterOp::Get, 0, 2 * i, 2 * i + 1))
+            .collect();
+        let _ = check_linearizable(CounterSpec::default(), &h);
+    }
+}

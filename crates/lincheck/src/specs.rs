@@ -1,0 +1,295 @@
+//! Sequential specifications for the family's abstract types.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::Spec;
+
+/// Stack operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackOp<T> {
+    /// Push a value.
+    Push(T),
+    /// Pop the top value.
+    Pop,
+}
+
+/// Stack results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackRes<T> {
+    /// A push completed.
+    Pushed,
+    /// What a pop returned.
+    Popped(Option<T>),
+}
+
+/// Sequential LIFO stack.
+#[derive(Debug, Clone, Default)]
+pub struct StackSpec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + PartialEq> Spec for StackSpec<T> {
+    type Op = StackOp<T>;
+    type Res = StackRes<T>;
+
+    fn apply(&mut self, op: &StackOp<T>) -> StackRes<T> {
+        match op {
+            StackOp::Push(v) => {
+                self.items.push(v.clone());
+                StackRes::Pushed
+            }
+            StackOp::Pop => StackRes::Popped(self.items.pop()),
+        }
+    }
+}
+
+/// Queue operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueOp<T> {
+    /// Enqueue at the tail.
+    Enqueue(T),
+    /// Dequeue from the head.
+    Dequeue,
+}
+
+/// Queue results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueueRes<T> {
+    /// An enqueue completed.
+    Enqueued,
+    /// What a dequeue returned.
+    Dequeued(Option<T>),
+}
+
+/// Sequential FIFO queue.
+#[derive(Debug, Clone, Default)]
+pub struct QueueSpec<T> {
+    items: VecDeque<T>,
+}
+
+impl<T: Clone + PartialEq> Spec for QueueSpec<T> {
+    type Op = QueueOp<T>;
+    type Res = QueueRes<T>;
+
+    fn apply(&mut self, op: &QueueOp<T>) -> QueueRes<T> {
+        match op {
+            QueueOp::Enqueue(v) => {
+                self.items.push_back(v.clone());
+                QueueRes::Enqueued
+            }
+            QueueOp::Dequeue => QueueRes::Dequeued(self.items.pop_front()),
+        }
+    }
+}
+
+/// Set (dictionary) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetOp<T> {
+    /// Insert-if-absent.
+    Insert(T),
+    /// Remove-if-present.
+    Remove(T),
+    /// Membership query.
+    Contains(T),
+}
+
+/// Sequential ordered set with dictionary semantics; results are `bool`.
+#[derive(Debug, Clone, Default)]
+pub struct SetSpec<T: Ord> {
+    items: BTreeSet<T>,
+}
+
+impl<T: Ord + Clone> Spec for SetSpec<T> {
+    type Op = SetOp<T>;
+    type Res = bool;
+
+    fn apply(&mut self, op: &SetOp<T>) -> bool {
+        match op {
+            SetOp::Insert(v) => self.items.insert(v.clone()),
+            SetOp::Remove(v) => self.items.remove(v),
+            SetOp::Contains(v) => self.items.contains(v),
+        }
+    }
+}
+
+/// Map (dictionary) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapOp<K, V> {
+    /// Insert-if-absent.
+    Insert(K, V),
+    /// Remove-if-present.
+    Remove(K),
+    /// Lookup.
+    Get(K),
+}
+
+/// Map results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapRes<V> {
+    /// Whether an insert or remove took effect.
+    Changed(bool),
+    /// What a get returned.
+    Got(Option<V>),
+}
+
+/// Sequential map with insert-if-absent semantics.
+#[derive(Debug, Clone, Default)]
+pub struct MapSpec<K: Ord, V> {
+    items: std::collections::BTreeMap<K, V>,
+}
+
+impl<K: Ord + Clone, V: Clone + PartialEq> Spec for MapSpec<K, V> {
+    type Op = MapOp<K, V>;
+    type Res = MapRes<V>;
+
+    fn apply(&mut self, op: &MapOp<K, V>) -> MapRes<V> {
+        match op {
+            MapOp::Insert(k, v) => {
+                if self.items.contains_key(k) {
+                    MapRes::Changed(false)
+                } else {
+                    self.items.insert(k.clone(), v.clone());
+                    MapRes::Changed(true)
+                }
+            }
+            MapOp::Remove(k) => MapRes::Changed(self.items.remove(k).is_some()),
+            MapOp::Get(k) => MapRes::Got(self.items.get(k).cloned()),
+        }
+    }
+}
+
+/// Min-priority-queue operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PqOp<T> {
+    /// Insert-if-absent.
+    Insert(T),
+    /// Remove and return the minimum.
+    RemoveMin,
+}
+
+/// Priority-queue results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PqRes<T> {
+    /// Whether an insert took effect.
+    Inserted(bool),
+    /// What remove-min returned.
+    Removed(Option<T>),
+}
+
+/// Sequential min-priority queue (set-like: duplicates rejected).
+#[derive(Debug, Clone, Default)]
+pub struct PqSpec<T: Ord> {
+    items: BTreeSet<T>,
+}
+
+impl<T: Ord + Clone> Spec for PqSpec<T> {
+    type Op = PqOp<T>;
+    type Res = PqRes<T>;
+
+    fn apply(&mut self, op: &PqOp<T>) -> PqRes<T> {
+        match op {
+            PqOp::Insert(v) => PqRes::Inserted(self.items.insert(v.clone())),
+            PqOp::RemoveMin => {
+                let min = self.items.iter().next().cloned();
+                if let Some(m) = &min {
+                    self.items.remove(m);
+                }
+                PqRes::Removed(min)
+            }
+        }
+    }
+}
+
+/// Counter operations (results are the counter value for `Get`, `0` for
+/// `Add` — a placeholder since `add` returns nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterOp {
+    /// Add a delta.
+    Add(i64),
+    /// Read the value.
+    Get,
+}
+
+/// Sequential counter; results are `i64`.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSpec {
+    value: i64,
+}
+
+impl Spec for CounterSpec {
+    type Op = CounterOp;
+    type Res = i64;
+
+    fn apply(&mut self, op: &CounterOp) -> i64 {
+        match op {
+            CounterOp::Add(d) => {
+                self.value += d;
+                0
+            }
+            CounterOp::Get => self.value,
+        }
+    }
+}
+
+/// Register operations (results are the read value for `Read`, `0` for
+/// `Write`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterOp {
+    /// Store a value.
+    Write(i64),
+    /// Load the value.
+    Read,
+}
+
+/// Sequential read/write register; results are `i64`.
+#[derive(Debug, Clone, Default)]
+pub struct RegisterSpec {
+    value: i64,
+}
+
+impl Spec for RegisterSpec {
+    type Op = RegisterOp;
+    type Res = i64;
+
+    fn apply(&mut self, op: &RegisterOp) -> i64 {
+        match op {
+            RegisterOp::Write(v) => {
+                self.value = *v;
+                0
+            }
+            RegisterOp::Read => self.value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Spec;
+
+    #[test]
+    fn stack_spec_is_lifo() {
+        let mut s = StackSpec::default();
+        s.apply(&StackOp::Push(1));
+        s.apply(&StackOp::Push(2));
+        assert_eq!(s.apply(&StackOp::Pop), StackRes::Popped(Some(2)));
+        assert_eq!(s.apply(&StackOp::Pop), StackRes::Popped(Some(1)));
+        assert_eq!(s.apply(&StackOp::Pop), StackRes::Popped(None));
+    }
+
+    #[test]
+    fn map_spec_insert_if_absent() {
+        let mut m = MapSpec::default();
+        assert_eq!(m.apply(&MapOp::Insert(1, "a")), MapRes::Changed(true));
+        assert_eq!(m.apply(&MapOp::Insert(1, "b")), MapRes::Changed(false));
+        assert_eq!(m.apply(&MapOp::Get(1)), MapRes::Got(Some("a")));
+    }
+
+    #[test]
+    fn pq_spec_returns_minimum() {
+        let mut p = PqSpec::default();
+        p.apply(&PqOp::Insert(5));
+        p.apply(&PqOp::Insert(2));
+        assert_eq!(p.apply(&PqOp::RemoveMin), PqRes::Removed(Some(2)));
+    }
+}

@@ -1,0 +1,543 @@
+use std::fmt;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cds_core::ConcurrentMap;
+use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_sync::Backoff;
+
+/// Logical-deletion mark (low tag bit of a node's own `next` pointer).
+const MARK: usize = 1;
+
+/// The bucket directory is a fixed array of lazily-allocated segments, so
+/// growing the table never relocates existing bucket pointers.
+const SEGMENT_BITS: usize = 10;
+const SEGMENT_SIZE: usize = 1 << SEGMENT_BITS;
+const MAX_SEGMENTS: usize = 1 << 10; // up to 2^20 buckets
+const MAX_LOAD_FACTOR: usize = 4;
+
+/// Regular nodes carry a key/value pair; dummy nodes (one per bucket) have
+/// `kv == None`.
+struct Node<K, V> {
+    /// Split-order key: bit-reversed hash, odd for regular nodes, even for
+    /// dummies — see [`regular_key`]/[`dummy_key`].
+    so_key: u64,
+    kv: Option<(K, V)>,
+    next: Atomic<Node<K, V>>,
+}
+
+/// Bit-reverse a hash and set the dropped top bit so regular keys are odd.
+fn regular_key(hash: u64) -> u64 {
+    (hash | 0x8000_0000_0000_0000).reverse_bits()
+}
+
+/// Bit-reverse a bucket index; dummy keys are even (top bit not set).
+fn dummy_key(bucket: u64) -> u64 {
+    bucket.reverse_bits()
+}
+
+/// Shalev & Shavit's **split-ordered list** hash map (JACM 2006) — a
+/// lock-free hash table that grows without moving a single item.
+///
+/// The construction inverts the usual design: instead of a table of
+/// independent chains, *all* items live in **one** lock-free sorted list
+/// (the Harris–Michael list of `cds-list`, re-derived here for
+/// hash-ordered, possibly-duplicate keys). The list is ordered by
+/// **bit-reversed hash**: in this order, the items of bucket `b` under a
+/// table of size `2^k` form one contiguous run, and doubling the table
+/// merely *splits* each run in two. The "table" is a directory of shortcut
+/// pointers to per-bucket **dummy nodes**; a new bucket is initialized
+/// lazily by inserting its dummy after its *parent* bucket (the index with
+/// the top bit cleared), recursively.
+///
+/// All operations are lock-free; `len` is O(1) (a shared counter,
+/// quiescently consistent). Removed nodes go to the epoch collector.
+///
+/// # Example
+///
+/// ```
+/// use cds_core::ConcurrentMap;
+/// use cds_map::SplitOrderedHashMap;
+///
+/// let m = SplitOrderedHashMap::new();
+/// for i in 0..1000u64 {
+///     m.insert(i, i + 1);
+/// }
+/// assert_eq!(m.get(&500), Some(501));
+/// assert_eq!(m.len(), 1000);
+/// ```
+pub struct SplitOrderedHashMap<K, V, S = RandomState> {
+    /// Directory of segments of bucket pointers; segment allocated on first
+    /// touch.
+    segments: Box<[Atomic<Segment<K, V>>]>,
+    /// Current number of logical buckets (a power of two).
+    bucket_count: AtomicUsize,
+    size: AtomicUsize,
+    hasher: S,
+}
+
+struct Segment<K, V> {
+    buckets: Box<[Atomic<Node<K, V>>]>,
+}
+
+// SAFETY: nodes are epoch-managed; keys/values cross threads by value and
+// by `&` (get clones), hence Send + Sync on both.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Send> Send for SplitOrderedHashMap<K, V, S> {}
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Sync> Sync for SplitOrderedHashMap<K, V, S> {}
+
+impl<K: Hash + Eq, V> SplitOrderedHashMap<K, V, RandomState> {
+    /// Creates an empty map with the default hasher.
+    pub fn new() -> Self {
+        Self::with_hasher(RandomState::new())
+    }
+}
+
+impl<K: Hash + Eq, V> Default for SplitOrderedHashMap<K, V, RandomState> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+type FindResult<'g, K, V> = (bool, &'g Atomic<Node<K, V>>, Shared<'g, Node<K, V>>);
+
+impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
+    /// Creates an empty map with a caller-supplied hasher.
+    pub fn with_hasher(hasher: S) -> Self {
+        let map = SplitOrderedHashMap {
+            segments: (0..MAX_SEGMENTS).map(|_| Atomic::null()).collect(),
+            bucket_count: AtomicUsize::new(2),
+            size: AtomicUsize::new(0),
+            hasher,
+        };
+        // Eagerly initialize bucket 0 with the list head dummy.
+        // SAFETY: not shared yet.
+        let guard = unsafe { Guard::unprotected() };
+        let head = Owned::new(Node {
+            so_key: dummy_key(0),
+            kv: None,
+            next: Atomic::null(),
+        })
+        .into_shared(&guard);
+        map.bucket_slot(0, &guard).store(head, Ordering::Relaxed);
+        map
+    }
+
+    fn hash(&self, key: &K) -> u64 {
+        self.hasher.hash_one(key)
+    }
+
+    /// Returns the directory slot for `bucket`, allocating its segment if
+    /// needed.
+    fn bucket_slot<'g>(&'g self, bucket: usize, guard: &'g Guard) -> &'g Atomic<Node<K, V>> {
+        let seg_idx = bucket >> SEGMENT_BITS;
+        let seg = self.segments[seg_idx].load(Ordering::Acquire, guard);
+        let seg = if seg.is_null() {
+            let fresh = Owned::new(Segment {
+                buckets: (0..SEGMENT_SIZE).map(|_| Atomic::null()).collect(),
+            })
+            .into_shared(guard);
+            match self.segments[seg_idx].compare_exchange(
+                Shared::null(),
+                fresh,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            ) {
+                Ok(_) => fresh,
+                Err(actual) => {
+                    // SAFETY: our segment lost the race and was never shared.
+                    unsafe { drop(fresh.into_owned()) };
+                    actual
+                }
+            }
+        } else {
+            seg
+        };
+        // SAFETY: segments are never freed while the map lives.
+        &unsafe { seg.deref() }.buckets[bucket & (SEGMENT_SIZE - 1)]
+    }
+
+    /// Ensures `bucket` has its dummy node, inserting it (and its
+    /// ancestors') lazily. Returns the bucket's dummy node.
+    fn initialize_bucket<'g>(&'g self, bucket: usize, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        let slot = self.bucket_slot(bucket, guard);
+        let existing = slot.load(Ordering::Acquire, guard);
+        if !existing.is_null() {
+            return existing;
+        }
+        // Parent: clear the highest set bit (bucket 0 is pre-initialized).
+        debug_assert!(bucket != 0, "bucket 0 must be pre-initialized");
+        let parent = bucket & !(1 << (usize::BITS - 1 - bucket.leading_zeros()));
+        let parent_dummy = self.initialize_bucket(parent, guard);
+
+        // Insert this bucket's dummy into the list, starting at the parent.
+        let key = dummy_key(bucket as u64);
+        let mut dummy = Owned::new(Node {
+            so_key: key,
+            kv: None,
+            next: Atomic::null(),
+        });
+        let dummy_shared = loop {
+            let (found, prev, curr) = self.find_from(parent_dummy, key, None, guard);
+            if found {
+                // Another thread inserted the dummy; ours dies unpublished.
+                drop(dummy);
+                break curr;
+            }
+            dummy.next.store(curr, Ordering::Relaxed);
+            let staged = dummy.into_shared(guard);
+            match prev.compare_exchange(curr, staged, Ordering::AcqRel, Ordering::Relaxed, guard) {
+                Ok(_) => break staged,
+                Err(_) => {
+                    // SAFETY: unpublished after a failed CAS.
+                    dummy = unsafe { staged.into_owned() };
+                }
+            }
+        };
+        // Publish the shortcut (racers may publish the same node — benign).
+        let _ = slot.compare_exchange(
+            Shared::null(),
+            dummy_shared,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+            guard,
+        );
+        slot.load(Ordering::Acquire, guard)
+    }
+
+    /// Harris–Michael `find` specialized for split-order keys: positions at
+    /// the first node with `so_key > key`, or at the node matching
+    /// `(key, k)` exactly. Nodes with equal `so_key` but different `K`
+    /// (hash collisions) are scanned through.
+    fn find_from<'g>(
+        &'g self,
+        start: Shared<'g, Node<K, V>>,
+        key: u64,
+        k: Option<&K>,
+        guard: &'g Guard,
+    ) -> FindResult<'g, K, V> {
+        'retry: loop {
+            // SAFETY: dummies are never removed, so `start` is alive.
+            let start_ref = unsafe { start.deref() };
+            let mut prev = &start_ref.next;
+            let mut curr = prev.load(Ordering::Acquire, guard);
+            loop {
+                let curr_ref = match unsafe { curr.as_ref() } {
+                    None => return (false, prev, curr),
+                    Some(c) => c,
+                };
+                let next = curr_ref.next.load(Ordering::Acquire, guard);
+                if next.tag() == MARK {
+                    match prev.compare_exchange(
+                        curr.with_tag(0),
+                        next.with_tag(0),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                        guard,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: unlinked by this CAS.
+                            unsafe { guard.defer_destroy(curr) };
+                            curr = next.with_tag(0);
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+                if curr_ref.so_key > key {
+                    return (false, prev, curr);
+                }
+                if curr_ref.so_key == key {
+                    match (k, &curr_ref.kv) {
+                        // Exact regular match requires equal K.
+                        (Some(k), Some((ck, _))) if ck == k => return (true, prev, curr),
+                        // Dummy search matches the dummy node itself.
+                        (None, None) => return (true, prev, curr),
+                        // Hash collision or kind mismatch: keep scanning
+                        // through the equal-so_key run.
+                        _ => {}
+                    }
+                }
+                prev = &curr_ref.next;
+                curr = next;
+            }
+        }
+    }
+
+    /// Returns the dummy node that starts `key`'s bucket run.
+    fn bucket_for<'g>(&'g self, hash: u64, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+        let bucket = (hash as usize) & (self.bucket_count.load(Ordering::Acquire) - 1);
+        if bucket == 0 {
+            let slot = self.bucket_slot(0, guard);
+            slot.load(Ordering::Acquire, guard)
+        } else {
+            self.initialize_bucket(bucket, guard)
+        }
+    }
+
+    /// Current number of logical buckets (diagnostics).
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_count.load(Ordering::Relaxed)
+    }
+}
+
+impl<K, V, S> ConcurrentMap<K, V> for SplitOrderedHashMap<K, V, S>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+    S: BuildHasher + Send + Sync,
+{
+    const NAME: &'static str = "split-ordered";
+
+    fn insert(&self, key: K, value: V) -> bool {
+        let guard = epoch::pin();
+        let hash = self.hash(&key);
+        let so_key = regular_key(hash);
+        let bucket = self.bucket_for(hash, &guard);
+        let backoff = Backoff::new();
+        let mut node = Owned::new(Node {
+            so_key,
+            kv: Some((key, value)),
+            next: Atomic::null(),
+        });
+        loop {
+            let k_ref = node.kv.as_ref().map(|(k, _)| k);
+            let (found, prev, curr) = self.find_from(bucket, so_key, k_ref.map(|k| k as _), &guard);
+            if found {
+                drop(node);
+                return false;
+            }
+            node.next.store(curr, Ordering::Relaxed);
+            let staged = node.into_shared(&guard);
+            match prev.compare_exchange(curr, staged, Ordering::AcqRel, Ordering::Relaxed, &guard) {
+                Ok(_) => break,
+                Err(_) => {
+                    // SAFETY: unpublished.
+                    node = unsafe { staged.into_owned() };
+                    backoff.spin();
+                }
+            }
+        }
+        let size = self.size.fetch_add(1, Ordering::Relaxed) + 1;
+        // Grow: double the bucket count when the load factor is exceeded.
+        let buckets = self.bucket_count.load(Ordering::Relaxed);
+        if size > buckets * MAX_LOAD_FACTOR && buckets < MAX_SEGMENTS * SEGMENT_SIZE {
+            let _ = self.bucket_count.compare_exchange(
+                buckets,
+                buckets * 2,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+        }
+        true
+    }
+
+    fn remove(&self, key: &K) -> bool {
+        let guard = epoch::pin();
+        let hash = self.hash(key);
+        let so_key = regular_key(hash);
+        let bucket = self.bucket_for(hash, &guard);
+        let backoff = Backoff::new();
+        loop {
+            let (found, prev, curr) = self.find_from(bucket, so_key, Some(key), &guard);
+            if !found {
+                return false;
+            }
+            // SAFETY: pinned, found unmarked.
+            let curr_ref = unsafe { curr.deref() };
+            let next = curr_ref.next.load(Ordering::Acquire, &guard);
+            if next.tag() == MARK {
+                backoff.spin();
+                continue;
+            }
+            if curr_ref
+                .next
+                .compare_exchange(
+                    next.with_tag(0),
+                    next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                    &guard,
+                )
+                .is_err()
+            {
+                backoff.spin();
+                continue;
+            }
+            self.size.fetch_sub(1, Ordering::Relaxed);
+            match prev.compare_exchange(
+                curr.with_tag(0),
+                next.with_tag(0),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+                &guard,
+            ) {
+                // SAFETY: unlinked by us.
+                Ok(_) => unsafe { guard.defer_destroy(curr) },
+                Err(_) => {
+                    let _ = self.find_from(bucket, so_key, Some(key), &guard);
+                }
+            }
+            return true;
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        let guard = epoch::pin();
+        let hash = self.hash(key);
+        let so_key = regular_key(hash);
+        let bucket = self.bucket_for(hash, &guard);
+        let (found, _, curr) = self.find_from(bucket, so_key, Some(key), &guard);
+        if found {
+            // SAFETY: pinned; found regular node.
+            let (_, v) = unsafe { curr.deref() }.kv.as_ref().expect("regular node");
+            Some(v.clone())
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.size.load(Ordering::Relaxed)
+    }
+}
+
+impl<K, V, S> Drop for SplitOrderedHashMap<K, V, S> {
+    fn drop(&mut self) {
+        // SAFETY: unique access.
+        let guard = unsafe { Guard::unprotected() };
+        // Free the whole list from the head dummy (bucket 0 of segment 0).
+        let seg0 = self.segments[0].load(Ordering::Relaxed, &guard);
+        if !seg0.is_null() {
+            // SAFETY: unique ownership.
+            let head = unsafe { seg0.deref() }.buckets[0].load(Ordering::Relaxed, &guard);
+            let mut cur = head;
+            while !cur.is_null() {
+                // SAFETY: unique ownership of the chain.
+                unsafe {
+                    let boxed = cur.with_tag(0).into_owned().into_box();
+                    cur = boxed.next.load(Ordering::Relaxed, &guard).with_tag(0);
+                }
+            }
+        }
+        // Free the segments.
+        for slot in self.segments.iter() {
+            let seg = slot.load(Ordering::Relaxed, &guard);
+            if !seg.is_null() {
+                // SAFETY: unique ownership.
+                unsafe { drop(seg.into_owned()) };
+            }
+        }
+    }
+}
+
+impl<K, V, S> fmt::Debug for SplitOrderedHashMap<K, V, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SplitOrderedHashMap")
+            .field("len", &self.size.load(Ordering::Relaxed))
+            .field("buckets", &self.bucket_count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<K, V> FromIterator<(K, V)> for SplitOrderedHashMap<K, V, RandomState>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    /// Collects key/value pairs; on duplicate keys the **first** wins
+    /// (insert-if-absent semantics).
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let map = SplitOrderedHashMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_core::ConcurrentMap;
+    use std::hash::Hasher;
+    use std::sync::Arc;
+
+    #[test]
+    fn split_order_keys_have_expected_parity() {
+        assert_eq!(regular_key(0) & 1, 1, "regular keys must be odd");
+        assert_eq!(dummy_key(5) & 1, 0, "dummy keys must be even");
+        // Split-ordering: bucket b's dummy precedes all keys hashing to b.
+        assert!(dummy_key(0) < regular_key(0));
+        assert!(dummy_key(1) < regular_key(1));
+    }
+
+    #[test]
+    fn bucket_count_doubles_under_load() {
+        let m: SplitOrderedHashMap<u64, u64> = SplitOrderedHashMap::new();
+        let before = m.bucket_count();
+        for i in 0..10_000 {
+            m.insert(i, i);
+        }
+        assert!(m.bucket_count() > before);
+        for i in 0..10_000 {
+            assert_eq!(m.get(&i), Some(i));
+        }
+    }
+
+    #[test]
+    fn collision_chains_work() {
+        // A constant-hash hasher forces every key into one so_key run.
+        #[derive(Default, Clone)]
+        struct ConstHash;
+        impl Hasher for ConstHasher {
+            fn finish(&self) -> u64 {
+                42
+            }
+            fn write(&mut self, _bytes: &[u8]) {}
+        }
+        #[derive(Default)]
+        struct ConstHasher;
+        impl BuildHasher for ConstHash {
+            type Hasher = ConstHasher;
+            fn build_hasher(&self) -> ConstHasher {
+                ConstHasher
+            }
+        }
+        let m: SplitOrderedHashMap<u64, u64, ConstHash> =
+            SplitOrderedHashMap::with_hasher(ConstHash);
+        for i in 0..50 {
+            assert!(m.insert(i, i * 10));
+        }
+        for i in 0..50 {
+            assert_eq!(m.get(&i), Some(i * 10));
+        }
+        assert!(m.remove(&25));
+        assert_eq!(m.get(&25), None);
+        assert_eq!(m.len(), 49);
+    }
+
+    #[test]
+    fn concurrent_growth_is_consistent() {
+        let m: Arc<SplitOrderedHashMap<u64, u64>> = Arc::new(SplitOrderedHashMap::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..2_500u64 {
+                        assert!(m.insert(t * 10_000 + i, i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 10_000);
+        for t in 0..4u64 {
+            for i in 0..2_500u64 {
+                assert_eq!(m.get(&(t * 10_000 + i)), Some(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cds_core::ConcurrentQueue;
+use cds_sync::{Backoff, CachePadded};
+
+struct Slot<T> {
+    /// Ticket machinery: a slot is writable when `sequence == pos` and
+    /// readable when `sequence == pos + 1`.
+    sequence: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer multi-consumer array queue (Vyukov's design).
+///
+/// A power-of-two ring of slots, each carrying a *sequence number* that
+/// encodes whose turn the slot is: producers and consumers claim positions
+/// with a fetch-style CAS on their own cursor and then synchronize with the
+/// slot's sequence, so a producer and a consumer operating on different
+/// slots never touch the same cache line. No allocation happens after
+/// construction — the reason bounded queues dominate in latency-sensitive
+/// systems.
+///
+/// The [`ConcurrentQueue`] impl spins when the queue is full; use
+/// [`try_enqueue`](BoundedQueue::try_enqueue) /
+/// [`try_dequeue`](BoundedQueue::try_dequeue) for non-blocking access.
+///
+/// # Example
+///
+/// ```
+/// use cds_queue::BoundedQueue;
+///
+/// let q = BoundedQueue::with_capacity(4);
+/// assert!(q.try_enqueue(1).is_ok());
+/// assert_eq!(q.try_dequeue(), Some(1));
+/// assert_eq!(q.try_dequeue(), None);
+/// ```
+pub struct BoundedQueue<T> {
+    buffer: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: slot access is serialized by the sequence-number protocol.
+unsafe impl<T: Send> Send for BoundedQueue<T> {}
+unsafe impl<T: Send> Sync for BoundedQueue<T> {}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero. Capacity is rounded up to the next
+    /// power of two.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let capacity = capacity.next_power_of_two();
+        let buffer: Box<[Slot<T>]> = (0..capacity)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        BoundedQueue {
+            buffer,
+            mask: capacity - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Approximate number of stored elements (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.saturating_sub(deq)
+    }
+
+    /// Attempts to enqueue without blocking; returns the value back if the
+    /// queue is full.
+    pub fn try_enqueue(&self, value: T) -> Result<(), T> {
+        let backoff = Backoff::new();
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            match seq as isize - pos as isize {
+                0 => {
+                    // Our turn: claim the position.
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the claim gives exclusive write access
+                            // to this slot until we bump its sequence.
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.sequence.store(pos + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(actual) => {
+                            pos = actual;
+                            backoff.spin();
+                        }
+                    }
+                }
+                d if d < 0 => return Err(value), // a full lap behind: full
+                _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Attempts to dequeue without blocking; returns `None` if empty.
+    pub fn try_dequeue(&self) -> Option<T> {
+        let backoff = Backoff::new();
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buffer[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            match seq as isize - (pos + 1) as isize {
+                0 => {
+                    match self.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the claim gives exclusive read access;
+                            // the producer's Release store made the value
+                            // visible.
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            // Free the slot for the producer one lap ahead.
+                            slot.sequence.store(pos + self.mask + 1, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(actual) => {
+                            pos = actual;
+                            backoff.spin();
+                        }
+                    }
+                }
+                d if d < 0 => return None, // slot not yet produced: empty
+                _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+impl<T> Default for BoundedQueue<T> {
+    /// A queue with a default capacity of 1024 slots.
+    fn default() -> Self {
+        Self::with_capacity(1024)
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for BoundedQueue<T> {
+    const NAME: &'static str = "bounded";
+
+    /// Enqueues, spinning while the queue is full.
+    fn enqueue(&self, value: T) {
+        let mut value = value;
+        let backoff = Backoff::new();
+        loop {
+            match self.try_enqueue(value) {
+                Ok(()) => return,
+                Err(v) => value = v,
+            }
+            backoff.snooze();
+        }
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        self.try_dequeue()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for BoundedQueue<T> {
+    fn drop(&mut self) {
+        // Drain undequeued values.
+        while self.try_dequeue().is_some() {}
+    }
+}
+
+impl<T> fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_rounds_up() {
+        let q: BoundedQueue<u8> = BoundedQueue::with_capacity(5);
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let q = BoundedQueue::with_capacity(2);
+        assert!(q.try_enqueue(1).is_ok());
+        assert!(q.try_enqueue(2).is_ok());
+        assert_eq!(q.try_enqueue(3), Err(3));
+        assert_eq!(q.try_dequeue(), Some(1));
+        assert!(q.try_enqueue(3).is_ok());
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let q = BoundedQueue::with_capacity(4);
+        for i in 0..100 {
+            q.try_enqueue(i).unwrap();
+            assert_eq!(q.try_dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_frees_undequeued() {
+        struct D(Arc<Counter>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(Counter::new(0));
+        {
+            let q = BoundedQueue::with_capacity(8);
+            for _ in 0..5 {
+                q.try_enqueue(D(Arc::clone(&drops))).ok().unwrap();
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 5);
+    }
+}

@@ -1,0 +1,406 @@
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, Ordering};
+use std::sync::Arc;
+
+use cds_reclaim::epoch::{self, Atomic, Guard, Owned};
+
+/// A growable circular buffer of possibly-uninitialized elements.
+///
+/// Entries are bitwise copies; ownership of an element is determined solely
+/// by the `top`/`bottom` indices of the deque, never by the buffer, so the
+/// buffer neither drops elements nor is it troubled by stale copies left in
+/// abandoned generations.
+struct Buffer<T> {
+    storage: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(capacity: usize) -> Self {
+        Buffer {
+            storage: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// # Safety
+    /// The index must currently be owned by the caller per the deque
+    /// protocol.
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = &self.storage[(index as usize) & (self.capacity() - 1)];
+        // SAFETY: per the caller contract.
+        unsafe { (*slot.get()).write(value) };
+    }
+
+    /// # Safety
+    /// As for `write`; the caller must only treat the result as owned if it
+    /// subsequently wins the index race (CAS on `top` / uncontended pop).
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = &self.storage[(index as usize) & (self.capacity() - 1)];
+        // SAFETY: per the caller contract.
+        unsafe { (*slot.get()).assume_init_read() }
+    }
+}
+
+/// The Chase–Lev work-stealing deque (SPAA '05).
+///
+/// The scheduler-building-block queue: the **owner** thread pushes and pops
+/// at the *bottom* with plain loads and stores (one `SeqCst` fence in
+/// `pop`), while any number of **thieves** steal from the *top* with a CAS.
+/// Owner operations are wait-free except when the deque holds one element;
+/// steals are lock-free.
+///
+/// Construction returns a [`Worker`]/[`Stealer`] pair: the worker is unique
+/// and not cloneable (owner operations are unsynchronized against each
+/// other); stealers clone freely.
+///
+/// Buffer growth is handled with epoch reclamation: a thief may still be
+/// reading the old generation while the owner installs a doubled one, so
+/// the old buffer is deferred, not freed.
+///
+/// # Example
+///
+/// ```
+/// use cds_queue::{ChaseLevDeque, Steal};
+///
+/// let (worker, stealer) = ChaseLevDeque::new();
+/// worker.push(1);
+/// worker.push(2);
+/// assert_eq!(worker.pop(), Some(2));       // owner is LIFO
+/// assert_eq!(stealer.steal(), Steal::Success(1)); // thieves are FIFO
+/// ```
+pub struct ChaseLevDeque<T> {
+    /// Index one past the youngest element; written only by the owner.
+    bottom: AtomicIsize,
+    /// Index of the oldest element; CASed by thieves and the owner's
+    /// last-element path.
+    top: AtomicIsize,
+    buffer: Atomic<Buffer<T>>,
+}
+
+// SAFETY: elements cross threads by move; buffer generations are epoch
+// managed.
+unsafe impl<T: Send> Send for ChaseLevDeque<T> {}
+unsafe impl<T: Send> Sync for ChaseLevDeque<T> {}
+
+const INITIAL_CAPACITY: usize = 32;
+
+impl<T> ChaseLevDeque<T> {
+    /// Creates an empty deque, returning its unique [`Worker`] and a
+    /// cloneable [`Stealer`].
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> (Worker<T>, Stealer<T>) {
+        let deque = Arc::new(ChaseLevDeque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buffer: Atomic::new(Buffer::new(INITIAL_CAPACITY)),
+        });
+        (
+            Worker {
+                deque: Arc::clone(&deque),
+                _not_sync: std::marker::PhantomData,
+            },
+            Stealer { deque },
+        )
+    }
+
+    /// Approximate number of elements (racy; diagnostics only).
+    fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+}
+
+impl<T> Drop for ChaseLevDeque<T> {
+    fn drop(&mut self) {
+        // SAFETY: unique access.
+        let guard = unsafe { Guard::unprotected() };
+        let buf = self.buffer.load(Ordering::Relaxed, &guard);
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        // SAFETY: indices [t, b) hold live elements owned by the deque.
+        unsafe {
+            let buf_ref = buf.deref();
+            for i in t..b {
+                drop(buf_ref.read(i));
+            }
+            drop(buf.into_owned());
+        }
+    }
+}
+
+impl<T> fmt::Debug for ChaseLevDeque<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaseLevDeque")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The owner handle of a [`ChaseLevDeque`]; not cloneable.
+pub struct Worker<T> {
+    deque: Arc<ChaseLevDeque<T>>,
+    /// Owner operations are unsynchronized against each other, so the
+    /// worker must not be shared (`!Sync`).
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+// SAFETY: the worker may migrate threads between operations; it just cannot
+// be used from two threads at once (no Sync).
+unsafe impl<T: Send> Send for Worker<T> {}
+
+impl<T> Worker<T> {
+    /// Pushes `value` at the bottom (owner end).
+    pub fn push(&self, value: T) {
+        let d = &*self.deque;
+        let b = d.bottom.load(Ordering::Relaxed);
+        let t = d.top.load(Ordering::Acquire);
+        let guard = epoch::pin();
+        let mut buf = d.buffer.load(Ordering::Relaxed, &guard);
+
+        if b - t >= unsafe { buf.deref() }.capacity() as isize {
+            // Grow: copy live indices into a doubled buffer, publish it, and
+            // defer the old one (thieves may still be reading it).
+            let new = Buffer::new(unsafe { buf.deref() }.capacity() * 2);
+            for i in t..b {
+                // SAFETY: indices [t, b) are live; bitwise copy (ownership
+                // stays index-determined).
+                unsafe {
+                    let v = std::ptr::read(
+                        (buf.deref().storage[(i as usize) & (buf.deref().capacity() - 1)]).get(),
+                    );
+                    *new.storage[(i as usize) & (new.capacity() - 1)].get() = v;
+                }
+            }
+            let new = Owned::new(new).into_shared(&guard);
+            let old = buf;
+            d.buffer.store(new, Ordering::Release);
+            buf = new;
+            // SAFETY: the old generation is unreachable for new loads.
+            unsafe { guard.defer_destroy(old) };
+        }
+
+        // SAFETY: slot `b` is owned by the worker.
+        unsafe { buf.deref().write(b, value) };
+        // Release: the element must be visible before the new bottom.
+        fence(Ordering::Release);
+        d.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Pops from the bottom (owner end, LIFO). Returns `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let d = &*self.deque;
+        let b = d.bottom.load(Ordering::Relaxed) - 1;
+        let guard = epoch::pin();
+        let buf = d.buffer.load(Ordering::Relaxed, &guard);
+        d.bottom.store(b, Ordering::Relaxed);
+        // The fence orders our bottom store against the top load: either a
+        // racing thief sees the lowered bottom, or we see its advanced top.
+        fence(Ordering::SeqCst);
+        let t = d.top.load(Ordering::Relaxed);
+
+        if b < t {
+            // Deque was empty; restore bottom.
+            d.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+
+        // SAFETY: index `b` held a live element when we lowered bottom.
+        let value = unsafe { buf.deref().read(b) };
+        if b > t {
+            // More than one element: no thief can reach index b.
+            return Some(value);
+        }
+
+        // Exactly one element: race thieves for it via top.
+        let won = d
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok();
+        d.bottom.store(t + 1, Ordering::Relaxed);
+        if won {
+            Some(value)
+        } else {
+            // A thief took it; the bitwise copy we read must not be dropped.
+            std::mem::forget(value);
+            None
+        }
+    }
+
+    /// Approximate number of elements (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Returns `true` if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+/// The result of a [`Stealer::steal`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was empty.
+    Empty,
+    /// Lost a race with another thief or the owner; worth retrying.
+    Retry,
+    /// Stole the oldest element.
+    Success(T),
+}
+
+/// A thief handle of a [`ChaseLevDeque`]; clone one per stealing thread.
+pub struct Stealer<T> {
+    deque: Arc<ChaseLevDeque<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            deque: Arc::clone(&self.deque),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal the oldest element (FIFO end).
+    pub fn steal(&self) -> Steal<T> {
+        let d = &*self.deque;
+        let t = d.top.load(Ordering::Acquire);
+        // Order the top load before the bottom load (pairs with the owner's
+        // SeqCst fence in `pop`).
+        fence(Ordering::SeqCst);
+        let b = d.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let guard = epoch::pin();
+        let buf = d.buffer.load(Ordering::Acquire, &guard);
+        // SAFETY: the element at `t` was live when bottom was read; the
+        // bitwise copy is only kept if the CAS below confirms ownership.
+        let value = unsafe { buf.deref().read(t) };
+        if d.top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(value)
+        } else {
+            std::mem::forget(value);
+            Steal::Retry
+        }
+    }
+
+    /// Approximate number of elements (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Returns `true` if the deque appears empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stealer").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let (w, s) = ChaseLevDeque::new();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (w, _s) = ChaseLevDeque::new();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        for i in (0..1000).rev() {
+            assert_eq!(w.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_frees_remaining_elements() {
+        use std::sync::atomic::AtomicUsize;
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let (w, _s) = ChaseLevDeque::new();
+            for _ in 0..10 {
+                w.push(D(Arc::clone(&drops)));
+            }
+            drop(w.pop());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn concurrent_steals_get_distinct_elements() {
+        let (w, s) = ChaseLevDeque::new();
+        const N: u64 = 10_000;
+        for i in 0..N {
+            w.push(i);
+        }
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Retry => {}
+                            Steal::Empty => return got,
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut mine = Vec::new();
+        while let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        let mut seen: HashSet<u64> = mine.into_iter().collect();
+        for t in thieves {
+            for v in t.join().unwrap() {
+                assert!(seen.insert(v), "element {v} taken twice");
+            }
+        }
+        assert_eq!(seen.len() as u64, N, "elements lost");
+    }
+}

@@ -1,0 +1,314 @@
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering;
+
+use cds_core::ConcurrentQueue;
+use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_sync::Backoff;
+
+struct Node<T> {
+    /// Uninitialized for the node currently serving as the sentinel (the
+    /// initial sentinel was never initialized; a dequeued node's value has
+    /// been moved out). Initialized for every node after the sentinel.
+    value: MaybeUninit<T>,
+    next: Atomic<Node<T>>,
+}
+
+/// The Michael–Scott lock-free queue (PODC '96).
+///
+/// The algorithm behind `java.util.concurrent.ConcurrentLinkedQueue`: a
+/// singly-linked list with a sentinel head. Enqueue links at the tail with
+/// one CAS (plus a tail-swing CAS that any thread may *help* complete);
+/// dequeue advances the head with one CAS. The helping protocol is what
+/// makes the queue lock-free: a stalled enqueuer cannot block others,
+/// because the next operation finishes its tail swing for it.
+///
+/// Unlinked nodes go to the epoch collector ([`cds_reclaim::epoch`]).
+///
+/// # Example
+///
+/// ```
+/// use cds_core::ConcurrentQueue;
+/// use cds_queue::MsQueue;
+///
+/// let q = MsQueue::new();
+/// q.enqueue(1);
+/// q.enqueue(2);
+/// assert_eq!(q.dequeue(), Some(1));
+/// ```
+pub struct MsQueue<T> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+}
+
+// SAFETY: values move across threads (enqueue on one, dequeue on another).
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T> MsQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        // The permanent sentinel; its value is never initialized.
+        let sentinel = Owned::new(Node {
+            value: MaybeUninit::uninit(),
+            next: Atomic::null(),
+        });
+        // SAFETY: the queue is not yet shared.
+        let guard = unsafe { Guard::unprotected() };
+        let sentinel = sentinel.into_shared(&guard);
+        let q = MsQueue {
+            head: Atomic::null(),
+            tail: Atomic::null(),
+        };
+        q.head.store(sentinel, Ordering::Relaxed);
+        q.tail.store(sentinel, Ordering::Relaxed);
+        q
+    }
+
+    fn enqueue_internal(&self, value: T, guard: &Guard) {
+        let node = Owned::new(Node {
+            value: MaybeUninit::new(value),
+            next: Atomic::null(),
+        })
+        .into_shared(guard);
+        let backoff = Backoff::new();
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, guard);
+            // SAFETY: pinned; tail is never freed before head passes it.
+            let t = unsafe { tail.deref() };
+            let next = t.next.load(Ordering::Acquire, guard);
+            if !next.is_null() {
+                // Tail is lagging: help swing it and retry.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                continue;
+            }
+            if t.next
+                .compare_exchange(
+                    Shared::null(),
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                )
+                .is_ok()
+            {
+                // Linked; swing the tail (failure is fine — someone helped).
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    fn dequeue_internal(&self, guard: &Guard) -> Option<T> {
+        let backoff = Backoff::new();
+        loop {
+            let head = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: pinned.
+            let h = unsafe { head.deref() };
+            let next = h.next.load(Ordering::Acquire, guard);
+            let next_ref = unsafe { next.as_ref() }?;
+            // If the tail is still on the sentinel, help it forward so it
+            // never lags behind the head.
+            let tail = self.tail.load(Ordering::Relaxed, guard);
+            if head == tail {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    guard,
+                );
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, guard)
+                .is_ok()
+            {
+                // SAFETY: winning the head CAS gives us unique rights to
+                // `next`'s value (it becomes the new sentinel); the old
+                // sentinel may still be read by peers, so defer it.
+                unsafe {
+                    let value = next_ref.value.assume_init_read();
+                    guard.defer_destroy(head);
+                    return Some(value);
+                }
+            }
+            backoff.spin();
+        }
+    }
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> ConcurrentQueue<T> for MsQueue<T> {
+    const NAME: &'static str = "ms";
+
+    fn enqueue(&self, value: T) {
+        let guard = epoch::pin();
+        self.enqueue_internal(value, &guard);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        let guard = epoch::pin();
+        self.dequeue_internal(&guard)
+    }
+
+    fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: pinned.
+        unsafe { head.deref() }
+            .next
+            .load(Ordering::Acquire, &guard)
+            .is_null()
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self`: unique access.
+        let guard = unsafe { Guard::unprotected() };
+        // The first node is the sentinel: free it without touching its value.
+        let mut cur = self.head.load(Ordering::Relaxed, &guard);
+        let mut is_sentinel = true;
+        while !cur.is_null() {
+            // SAFETY: unique ownership of the whole chain.
+            unsafe {
+                let mut boxed = cur.into_owned().into_box();
+                if !is_sentinel {
+                    boxed.value.assume_init_drop();
+                }
+                is_sentinel = false;
+                cur = boxed.next.load(Ordering::Relaxed, &guard);
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for MsQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsQueue").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> FromIterator<T> for MsQueue<T> {
+    /// Collects into a queue preserving iteration order (first in, first
+    /// out).
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let queue = MsQueue::new();
+        for v in iter {
+            queue.enqueue(v);
+        }
+        queue
+    }
+}
+
+impl<T: Send + 'static> Extend<T> for MsQueue<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.enqueue(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_fifo() {
+        let q = MsQueue::new();
+        assert_eq!(q.dequeue(), None);
+        for i in 0..32 {
+            q.enqueue(i);
+        }
+        for i in 0..32 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn values_dropped_exactly_once() {
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = MsQueue::new();
+            for _ in 0..10 {
+                q.enqueue(D(Arc::clone(&drops)));
+            }
+            for _ in 0..4 {
+                drop(q.dequeue());
+            }
+            assert_eq!(drops.load(Ordering::SeqCst), 4);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn mpmc_stress() {
+        let q = Arc::new(MsQueue::new());
+        let consumed = Arc::new(AtomicUsize::new(0));
+        const N: usize = 1_000;
+        let producers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..N {
+                        q.enqueue(i);
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                std::thread::spawn(move || loop {
+                    if q.dequeue().is_some() {
+                        if consumed.fetch_add(1, Ordering::SeqCst) + 1 == 2 * N {
+                            return;
+                        }
+                    } else if consumed.load(Ordering::SeqCst) == 2 * N {
+                        return;
+                    } else {
+                        // Single core: don't starve the producers.
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::SeqCst), 2 * N);
+        assert!(q.is_empty());
+    }
+}

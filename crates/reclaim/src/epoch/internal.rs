@@ -1,0 +1,324 @@
+//! Internal machinery of the epoch-based collector: the global state shared
+//! by all participants and the per-thread participant record.
+
+use std::cell::{Cell, UnsafeCell};
+use std::fmt;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How many deferred items a participant accumulates locally before it
+/// flushes them to the global queue (and attempts collection).
+const LOCAL_BAG_CAP: usize = 64;
+
+/// Every `PINNINGS_BETWEEN_COLLECT` pinnings a participant attempts to
+/// advance the epoch and collect, so garbage is reclaimed even on workloads
+/// that never overflow a local bag.
+const PINNINGS_BETWEEN_COLLECT: usize = 128;
+
+/// A deferred destruction: a type-erased pointer plus its destructor.
+///
+/// Stored without allocation (two words); the destructor reconstructs the
+/// original `Box<T>` and drops it.
+pub(crate) struct Deferred {
+    ptr: *mut u8,
+    dtor: unsafe fn(*mut u8),
+}
+
+// SAFETY: a `Deferred` is only created for pointers whose payload is `Send`
+// (enforced by the public `defer_destroy`/`defer` APIs), so executing the
+// destructor on another thread is sound.
+unsafe impl Send for Deferred {}
+
+impl Deferred {
+    /// Creates a deferred destruction of the boxed value behind `ptr`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been produced by `Box::into_raw` and must not be
+    /// dropped by anyone else.
+    pub(crate) unsafe fn destroy_box<T>(ptr: *mut T) -> Self {
+        unsafe fn dtor<T>(p: *mut u8) {
+            // SAFETY: `p` was created from `Box::into_raw::<T>` in
+            // `destroy_box` and ownership was transferred to the collector.
+            unsafe { drop(Box::from_raw(p.cast::<T>())) }
+        }
+        Deferred {
+            ptr: ptr.cast(),
+            dtor: dtor::<T>,
+        }
+    }
+
+    /// Runs the deferred destructor.
+    pub(crate) fn call(self) {
+        // SAFETY: constructed via `destroy_box`; called exactly once.
+        unsafe { (self.dtor)(self.ptr) }
+    }
+}
+
+impl fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deferred").finish_non_exhaustive()
+    }
+}
+
+/// Global collector state shared by all participants.
+pub(crate) struct Global {
+    /// The global epoch. Plain counter; wrapping arithmetic throughout.
+    epoch: AtomicUsize,
+    /// Registry of active participants. Locked only on registration,
+    /// unregistration, and epoch-advance scans — never on the pin/defer
+    /// fast path.
+    participants: Mutex<Vec<Arc<Local>>>,
+    /// Garbage that has been flushed out of local bags, tagged with the
+    /// epoch at which it was deferred.
+    garbage: Mutex<Vec<(usize, Deferred)>>,
+}
+
+impl Global {
+    pub(crate) fn new() -> Self {
+        Global {
+            epoch: AtomicUsize::new(0),
+            participants: Mutex::new(Vec::new()),
+            garbage: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn register(self: &Arc<Self>) -> Arc<Local> {
+        let local = Arc::new(Local {
+            epoch: AtomicUsize::new(0),
+            global: Arc::clone(self),
+            guard_count: Cell::new(0),
+            pin_count: Cell::new(0),
+            handle_dropped: Cell::new(false),
+            bag: UnsafeCell::new(Vec::new()),
+        });
+        self.participants.lock().unwrap().push(Arc::clone(&local));
+        local
+    }
+
+    fn unregister(&self, local: &Local) {
+        let mut parts = self.participants.lock().unwrap();
+        parts.retain(|p| !std::ptr::eq(&**p, local));
+    }
+
+    /// Attempts to advance the global epoch by one.
+    ///
+    /// Succeeds only if every *pinned* participant has observed the current
+    /// epoch; otherwise leaves the epoch unchanged. Returns the epoch value
+    /// in force after the call.
+    pub(crate) fn try_advance(&self) -> usize {
+        let global_epoch = self.epoch.load(Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+
+        let parts = self.participants.lock().unwrap();
+        for p in parts.iter() {
+            let e = p.epoch.load(Ordering::Relaxed);
+            if e & 1 == 1 && e >> 1 != global_epoch {
+                // A participant is pinned in an older epoch.
+                return global_epoch;
+            }
+        }
+        drop(parts);
+        fence(Ordering::Acquire);
+
+        // Multiple threads may race here; `compare_exchange` keeps the epoch
+        // monotonic (each success advances by exactly one).
+        let _ = self.epoch.compare_exchange(
+            global_epoch,
+            global_epoch.wrapping_add(1),
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Moves `items` onto the global garbage queue.
+    pub(crate) fn push_garbage(&self, items: impl IntoIterator<Item = (usize, Deferred)>) {
+        self.garbage.lock().unwrap().extend(items);
+    }
+
+    /// Frees every queued item that is at least two epochs old.
+    ///
+    /// An item deferred at epoch `e` was unreachable for threads pinning at
+    /// epochs `> e`; once the global epoch reaches `e + 2`, every thread
+    /// pinned at `e` or earlier has unpinned, so no live reference can
+    /// remain.
+    pub(crate) fn collect(&self) -> usize {
+        let global_epoch = self.try_advance();
+        let eligible: Vec<Deferred> = {
+            let mut garbage = self.garbage.lock().unwrap();
+            let mut eligible = Vec::new();
+            garbage.retain_mut(|(e, d)| {
+                if global_epoch.wrapping_sub(*e) >= 2 {
+                    // Move the deferred item out; the slot is removed.
+                    eligible.push(std::mem::replace(
+                        d,
+                        Deferred {
+                            ptr: std::ptr::null_mut(),
+                            dtor: |_| {},
+                        },
+                    ));
+                    false
+                } else {
+                    true
+                }
+            });
+            eligible
+        };
+        let n = eligible.len();
+        for d in eligible {
+            d.call();
+        }
+        n
+    }
+
+    /// Number of items waiting on the global queue (diagnostics).
+    pub(crate) fn garbage_len(&self) -> usize {
+        self.garbage.lock().unwrap().len()
+    }
+}
+
+impl Drop for Global {
+    fn drop(&mut self) {
+        // No participants can remain (each holds an `Arc<Global>`), so all
+        // garbage is unreachable and safe to free.
+        for (_, d) in self.garbage.get_mut().unwrap().drain(..) {
+            d.call();
+        }
+    }
+}
+
+impl fmt::Debug for Global {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Global")
+            .field("epoch", &self.epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-thread participant record.
+///
+/// Only the owning thread touches the `Cell`/`UnsafeCell` fields; the
+/// `epoch` atomic is additionally read by other threads during
+/// [`Global::try_advance`] scans.
+pub(crate) struct Local {
+    /// `0` when unpinned; `(epoch << 1) | 1` when pinned.
+    epoch: AtomicUsize,
+    global: Arc<Global>,
+    guard_count: Cell<usize>,
+    pin_count: Cell<usize>,
+    handle_dropped: Cell<bool>,
+    bag: UnsafeCell<Vec<(usize, Deferred)>>,
+}
+
+// SAFETY: see the type-level comment — cross-thread access is limited to the
+// `epoch` atomic.
+unsafe impl Send for Local {}
+unsafe impl Sync for Local {}
+
+impl Local {
+    /// Pins the participant (reentrant). Returns `true` if this call
+    /// transitioned from unpinned to pinned.
+    pub(crate) fn pin(&self) {
+        let count = self.guard_count.get();
+        self.guard_count.set(count + 1);
+        if count > 0 {
+            return;
+        }
+
+        // Publish the epoch we are entering. The SeqCst fence makes the
+        // store visible to `try_advance` scans before we read any shared
+        // pointers; the re-check loop bounds how stale our published epoch
+        // can be.
+        let mut e = self.global.epoch.load(Ordering::Relaxed);
+        loop {
+            self.epoch.store((e << 1) | 1, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            let current = self.global.epoch.load(Ordering::Relaxed);
+            if current == e {
+                break;
+            }
+            e = current;
+        }
+
+        let pinnings = self.pin_count.get().wrapping_add(1);
+        self.pin_count.set(pinnings);
+        if pinnings.is_multiple_of(PINNINGS_BETWEEN_COLLECT) {
+            self.global.collect();
+        }
+    }
+
+    /// Unpins the participant (reentrant). When the outermost guard drops,
+    /// the participant leaves the epoch and, if its handle has been
+    /// dropped, unregisters.
+    pub(crate) fn unpin(&self) {
+        let count = self.guard_count.get();
+        debug_assert!(count > 0, "unpin without matching pin");
+        self.guard_count.set(count - 1);
+        if count == 1 {
+            self.epoch.store(0, Ordering::Release);
+            if self.handle_dropped.get() {
+                self.retire_record();
+            }
+        }
+    }
+
+    /// Defers destruction of `deferred` until the current epoch is two
+    /// advances old.
+    ///
+    /// Must be called while pinned.
+    pub(crate) fn defer(&self, deferred: Deferred) {
+        debug_assert!(self.guard_count.get() > 0, "defer while unpinned");
+        let epoch = self.global.epoch.load(Ordering::Relaxed);
+        // SAFETY: the bag is only touched by the owning thread.
+        let bag = unsafe { &mut *self.bag.get() };
+        bag.push((epoch, deferred));
+        if bag.len() >= LOCAL_BAG_CAP {
+            let items: Vec<_> = std::mem::take(bag);
+            self.global.push_garbage(items);
+            self.global.collect();
+        }
+    }
+
+    /// Flushes the local bag to the global queue and runs a collection.
+    pub(crate) fn flush(&self) {
+        // SAFETY: owning thread only.
+        let bag = unsafe { &mut *self.bag.get() };
+        if !bag.is_empty() {
+            let items: Vec<_> = std::mem::take(bag);
+            self.global.push_garbage(items);
+        }
+        self.global.collect();
+    }
+
+    /// Called when the owning `LocalHandle` is dropped.
+    pub(crate) fn handle_dropped(&self) {
+        self.handle_dropped.set(true);
+        if self.guard_count.get() == 0 {
+            self.retire_record();
+        }
+    }
+
+    /// Removes this participant from the registry and donates its bag.
+    fn retire_record(&self) {
+        // SAFETY: owning thread only, and no guard is active.
+        let bag = unsafe { &mut *self.bag.get() };
+        if !bag.is_empty() {
+            let items: Vec<_> = std::mem::take(bag);
+            self.global.push_garbage(items);
+        }
+        self.global.unregister(self);
+    }
+}
+
+impl fmt::Debug for Local {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Local")
+            .field("pinned", &(self.epoch.load(Ordering::Relaxed) & 1 == 1))
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,53 @@
+//! Safe memory reclamation for lock-free data structures.
+//!
+//! Lock-free algorithms unlink nodes while other threads may still be
+//! traversing them. In a garbage-collected language the collector keeps such
+//! nodes alive; in Rust the library must provide the equivalent guarantee.
+//! This crate implements, from scratch, the two standard schemes:
+//!
+//! * [`epoch`] — **epoch-based reclamation** (EBR). Threads *pin* the
+//!   current epoch before touching shared nodes and defer destruction of
+//!   unlinked nodes; a node is freed only after every pinned thread has
+//!   moved past the epoch in which it was unlinked. Per-operation cost is a
+//!   couple of unsynchronized loads plus one fence — the cheapest known
+//!   scheme for read-heavy structures — at the price of unbounded garbage
+//!   if a thread stalls while pinned.
+//!
+//! * [`hazard`] — **hazard pointers** (Michael). Each thread publishes the
+//!   specific pointers it is about to dereference; retired nodes are freed
+//!   only when no published hazard matches them. Bounded garbage even under
+//!   thread stalls, at the price of a store + fence per protected pointer.
+//!
+//! The trade-off between the two is measured head-to-head by experiment
+//! E10 of the benchmark suite (`cargo bench -p cds-bench --bench reclaim`).
+//!
+//! # Which one should a data structure use?
+//!
+//! The lock-free structures in this family default to [`epoch`] (as do
+//! crossbeam and java.util.concurrent's analogous designs); the
+//! hazard-pointer variant of the Treiber stack (`cds-stack`) exists to
+//! exercise and compare the [`hazard`] API.
+//!
+//! # Example
+//!
+//! ```
+//! use cds_reclaim::epoch::{self, Atomic, Owned};
+//! use std::sync::atomic::Ordering;
+//!
+//! let slot: Atomic<i32> = Atomic::new(1);
+//! let guard = epoch::pin();
+//! let old = slot.swap(Owned::new(2).into_shared(&guard), Ordering::AcqRel, &guard);
+//! // `old` may still be read by concurrent threads: defer its destruction.
+//! unsafe {
+//!     assert_eq!(*old.deref(), 1);
+//!     guard.defer_destroy(old);
+//! }
+//! drop(guard);
+//! # unsafe { drop(slot.into_owned()); }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod epoch;
+pub mod hazard;

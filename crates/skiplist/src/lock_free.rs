@@ -1,0 +1,600 @@
+use std::cmp::Ordering as CmpOrdering;
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+use cds_core::{Bound, ConcurrentSet};
+use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_sync::Backoff;
+
+use crate::level::random_level;
+use crate::HEIGHT;
+
+/// Per-level logical-deletion mark (tag bit of that level's `next`).
+const MARK: usize = 1;
+
+struct Node<T> {
+    key: Bound<T>,
+    /// Tower of forward pointers; the tag bit of `next[l]` marks the node
+    /// as deleted *at that level*.
+    next: Vec<Atomic<Node<T>>>,
+}
+
+impl<T> Node<T> {
+    fn top_level(&self) -> usize {
+        self.next.len() - 1
+    }
+}
+
+/// The **lock-free skiplist** (Fraser 2004, as presented by Herlihy &
+/// Shavit ch. 14).
+///
+/// CAS-only: the deletion mark lives in the tag bit of each level's `next`
+/// pointer, and every traversal *helps* by physically unlinking marked
+/// nodes it passes. The bottom level is authoritative — a node is in the
+/// set iff it is linked and unmarked at level 0; upper levels are mere
+/// shortcuts, linked best-effort after the bottom-level CAS.
+///
+/// ## Reclamation
+///
+/// A node is handed to the epoch collector by the thread whose CAS unlinks
+/// it at **level 0**. This is safe because any traversal that reaches the
+/// node's position at level 0 necessarily scanned (and snipped it from)
+/// every higher level of its tower first — once a level's unlink CAS
+/// succeeds the node can never be re-linked there — so the level-0
+/// unlinker observes a node that is already globally unreachable.
+///
+/// Also provides [`remove_min`](LockFreeSkipList::remove_min): the
+/// Lotan–Shavit priority-queue operation used by `cds-prio`.
+///
+/// # Example
+///
+/// ```
+/// use cds_core::ConcurrentSet;
+/// use cds_skiplist::LockFreeSkipList;
+///
+/// let s = LockFreeSkipList::new();
+/// s.insert(2);
+/// s.insert(9);
+/// assert_eq!(s.remove_min(), Some(2));
+/// ```
+pub struct LockFreeSkipList<T> {
+    head: Atomic<Node<T>>,
+}
+
+// SAFETY: epoch-managed nodes; all mutation is CAS-based.
+unsafe impl<T: Send + Sync> Send for LockFreeSkipList<T> {}
+unsafe impl<T: Send + Sync> Sync for LockFreeSkipList<T> {}
+
+type FindResult<'g, T> = (
+    bool,
+    [Shared<'g, Node<T>>; HEIGHT],
+    [Shared<'g, Node<T>>; HEIGHT],
+);
+
+impl<T: Ord> LockFreeSkipList<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        LockFreeSkipList {
+            head: Atomic::new(Node {
+                key: Bound::NegInf,
+                next: (0..HEIGHT).map(|_| Atomic::null()).collect(),
+            }),
+        }
+    }
+
+    /// Fraser's `find`: descends the tower recording predecessors and
+    /// successors per level, snipping every marked node encountered.
+    /// The thread whose CAS removes a node at level 0 retires it (see the
+    /// type-level reclamation argument).
+    fn find<'g>(&self, key: &T, guard: &'g Guard) -> FindResult<'g, T> {
+        'retry: loop {
+            let mut preds = [Shared::null(); HEIGHT];
+            let mut succs = [Shared::null(); HEIGHT];
+            let mut pred = self.head.load(Ordering::Acquire, guard);
+            for l in (0..HEIGHT).rev() {
+                // SAFETY: pinned; `pred` is the head or an unmarked node we
+                // traversed to.
+                let mut curr = unsafe { pred.deref() }.next[l]
+                    .load(Ordering::Acquire, guard)
+                    .with_tag(0);
+                loop {
+                    let curr_ref = match unsafe { curr.as_ref() } {
+                        None => break, // level exhausted
+                        Some(c) => c,
+                    };
+                    let next = curr_ref.next[l].load(Ordering::Acquire, guard);
+                    if next.tag() == MARK {
+                        // curr is deleted at this level: snip it.
+                        match unsafe { pred.deref() }.next[l].compare_exchange(
+                            curr.with_tag(0),
+                            next.with_tag(0),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                            guard,
+                        ) {
+                            Ok(_) => {
+                                if l == 0 {
+                                    // SAFETY: see type-level docs — at level
+                                    // 0 the node is globally unreachable.
+                                    unsafe { guard.defer_destroy(curr) };
+                                }
+                                curr = next.with_tag(0);
+                            }
+                            Err(_) => continue 'retry,
+                        }
+                    } else if curr_ref.key.cmp_key(key) == CmpOrdering::Less {
+                        pred = curr;
+                        curr = next.with_tag(0);
+                    } else {
+                        break;
+                    }
+                }
+                preds[l] = pred;
+                succs[l] = curr;
+            }
+            let found = match unsafe { succs[0].as_ref() } {
+                Some(c) => c.key.cmp_key(key) == CmpOrdering::Equal,
+                None => false,
+            };
+            return (found, preds, succs);
+        }
+    }
+
+    /// Removes and returns the smallest key (Lotan & Shavit, 2000).
+    ///
+    /// Walks the bottom level, claiming the first unmarked node by marking
+    /// its tower (top-down, bottom last — the bottom CAS is the
+    /// linearization point), then calls `find` to physically
+    /// unlink it.
+    pub fn remove_min(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let guard = epoch::pin();
+        // SAFETY: pinned; head never freed.
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let mut curr = unsafe { head.deref() }.next[0]
+            .load(Ordering::Acquire, &guard)
+            .with_tag(0);
+        loop {
+            let curr_ref = unsafe { curr.as_ref() }?;
+            // Mark upper levels top-down.
+            for l in (1..=curr_ref.top_level()).rev() {
+                loop {
+                    let next = curr_ref.next[l].load(Ordering::Acquire, &guard);
+                    if next.tag() == MARK {
+                        break;
+                    }
+                    if curr_ref.next[l]
+                        .compare_exchange(
+                            next,
+                            next.with_tag(MARK),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                            &guard,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+            // Claim the bottom level.
+            let next = curr_ref.next[0].load(Ordering::Acquire, &guard);
+            if next.tag() == MARK {
+                // Someone else claimed it; move on.
+                curr = next.with_tag(0);
+                continue;
+            }
+            if curr_ref.next[0]
+                .compare_exchange(
+                    next,
+                    next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                    &guard,
+                )
+                .is_ok()
+            {
+                let key = curr_ref
+                    .key
+                    .finite()
+                    .expect("non-sentinel node has a finite key")
+                    .clone();
+                // Physically unlink (and retire, at level 0) via find.
+                let _ = self.find(&key, &guard);
+                return Some(key);
+            }
+            // Bottom CAS failed: either claimed or a node was inserted
+            // right after curr; re-examine curr.
+        }
+    }
+
+    /// An ascending snapshot of the set's keys.
+    ///
+    /// The snapshot is *quiescently consistent*: it reflects some state
+    /// consistent with the operations that completed before the call and
+    /// may miss or include elements whose insertion/removal overlaps it.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let guard = epoch::pin();
+        let mut out = Vec::new();
+        // SAFETY: pinned.
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let mut curr = unsafe { head.deref() }.next[0]
+            .load(Ordering::Acquire, &guard)
+            .with_tag(0);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            let next = c.next[0].load(Ordering::Acquire, &guard);
+            if next.tag() != MARK {
+                if let Some(k) = c.key.finite() {
+                    out.push(k.clone());
+                }
+            }
+            curr = next.with_tag(0);
+        }
+        out
+    }
+
+    /// A clone of the smallest key without removing it.
+    pub fn min(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let guard = epoch::pin();
+        // SAFETY: pinned.
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let mut curr = unsafe { head.deref() }.next[0]
+            .load(Ordering::Acquire, &guard)
+            .with_tag(0);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            let next = c.next[0].load(Ordering::Acquire, &guard);
+            if next.tag() != MARK {
+                return c.key.finite().cloned();
+            }
+            curr = next.with_tag(0);
+        }
+        None
+    }
+}
+
+impl<T: Ord> Default for LockFreeSkipList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
+    const NAME: &'static str = "lock-free";
+
+    fn insert(&self, value: T) -> bool {
+        let guard = epoch::pin();
+        let backoff = Backoff::new();
+        let top = random_level();
+        let mut node = Owned::new(Node {
+            key: Bound::Finite(value),
+            next: (0..=top).map(|_| Atomic::null()).collect(),
+        });
+        // Link at level 0 first (the linearization point).
+        let node_shared = loop {
+            let key = node.key.finite().expect("finite by construction");
+            let (found, preds, succs) = self.find(key, &guard);
+            if found {
+                drop(node);
+                return false;
+            }
+            for l in 0..=top {
+                node.next[l].store(succs[l], Ordering::Relaxed);
+            }
+            let staged = node.into_shared(&guard);
+            // SAFETY: pinned.
+            match unsafe { preds[0].deref() }.next[0].compare_exchange(
+                succs[0],
+                staged,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+                &guard,
+            ) {
+                Ok(_) => break staged,
+                Err(_) => {
+                    // SAFETY: unpublished.
+                    node = unsafe { staged.into_owned() };
+                    backoff.spin();
+                }
+            }
+        };
+
+        // Best-effort linking of the upper levels.
+        // SAFETY: pinned; the node is published now.
+        let node_ref = unsafe { node_shared.deref() };
+        let key_ref = node_ref.key.finite().expect("finite");
+        let (_, mut preds, mut succs) = self.find(key_ref, &guard);
+        'levels: for l in 1..=top {
+            loop {
+                let cur_next = node_ref.next[l].load(Ordering::Acquire, &guard);
+                if cur_next.tag() == MARK {
+                    // Concurrently deleted; the deleter owns cleanup.
+                    break 'levels;
+                }
+                let succ = succs[l];
+                if succ != cur_next {
+                    // Refresh our forward pointer before exposing the level.
+                    if node_ref.next[l]
+                        .compare_exchange(
+                            cur_next,
+                            succ,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                            &guard,
+                        )
+                        .is_err()
+                    {
+                        continue; // re-examine (possibly marked now)
+                    }
+                }
+                if succ.as_raw() == node_shared.as_raw() {
+                    // find() already sees us at this level (a helper linked
+                    // it); nothing to do.
+                    break;
+                }
+                // SAFETY: pinned.
+                if unsafe { preds[l].deref() }.next[l]
+                    .compare_exchange(
+                        succ,
+                        node_shared,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                        &guard,
+                    )
+                    .is_ok()
+                {
+                    break; // level linked
+                }
+                // Stale view: recompute and retry this level.
+                let (found, p, s) = self.find(key_ref, &guard);
+                if !found {
+                    // The node has been removed (and unlinked) already.
+                    break 'levels;
+                }
+                preds = p;
+                succs = s;
+            }
+        }
+        true
+    }
+
+    fn remove(&self, value: &T) -> bool {
+        let guard = epoch::pin();
+        let (found, _preds, succs) = self.find(value, &guard);
+        if !found {
+            return false;
+        }
+        let victim = succs[0];
+        // SAFETY: pinned; found unmarked at level 0.
+        let victim_ref = unsafe { victim.deref() };
+        // Mark upper levels top-down.
+        for l in (1..=victim_ref.top_level()).rev() {
+            loop {
+                let next = victim_ref.next[l].load(Ordering::Acquire, &guard);
+                if next.tag() == MARK {
+                    break;
+                }
+                if victim_ref.next[l]
+                    .compare_exchange(
+                        next,
+                        next.with_tag(MARK),
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                        &guard,
+                    )
+                    .is_ok()
+                {
+                    break;
+                }
+            }
+        }
+        // Bottom level decides the winner.
+        let backoff = Backoff::new();
+        loop {
+            let next = victim_ref.next[0].load(Ordering::Acquire, &guard);
+            if next.tag() == MARK {
+                return false; // another remover won
+            }
+            if victim_ref.next[0]
+                .compare_exchange(
+                    next,
+                    next.with_tag(MARK),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                    &guard,
+                )
+                .is_ok()
+            {
+                // Physically unlink everywhere (level-0 snipper retires it).
+                let _ = self.find(value, &guard);
+                return true;
+            }
+            backoff.spin();
+        }
+    }
+
+    fn contains(&self, value: &T) -> bool {
+        // Read-only descent: skip marked nodes without snipping.
+        let guard = epoch::pin();
+        let mut pred = self.head.load(Ordering::Acquire, &guard);
+        for l in (0..HEIGHT).rev() {
+            // SAFETY: pinned.
+            let mut curr = unsafe { pred.deref() }.next[l]
+                .load(Ordering::Acquire, &guard)
+                .with_tag(0);
+            loop {
+                let curr_ref = match unsafe { curr.as_ref() } {
+                    None => break,
+                    Some(c) => c,
+                };
+                let next = curr_ref.next[l].load(Ordering::Acquire, &guard);
+                if next.tag() == MARK {
+                    curr = next.with_tag(0);
+                    continue;
+                }
+                match curr_ref.key.cmp_key(value) {
+                    CmpOrdering::Less => {
+                        pred = curr;
+                        curr = next.with_tag(0);
+                    }
+                    CmpOrdering::Equal => return true,
+                    CmpOrdering::Greater => break,
+                }
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        // SAFETY: pinned.
+        let head = self.head.load(Ordering::Acquire, &guard);
+        let mut curr = unsafe { head.deref() }.next[0]
+            .load(Ordering::Acquire, &guard)
+            .with_tag(0);
+        while let Some(c) = unsafe { curr.as_ref() } {
+            let next = c.next[0].load(Ordering::Acquire, &guard);
+            if next.tag() != MARK {
+                n += 1;
+            }
+            curr = next.with_tag(0);
+        }
+        n
+    }
+}
+
+impl<T> Drop for LockFreeSkipList<T> {
+    fn drop(&mut self) {
+        // SAFETY: unique access; the bottom level reaches every node
+        // (including marked-but-unlinked ones, which are still chained).
+        let guard = unsafe { Guard::unprotected() };
+        let head = self.head.load(Ordering::Relaxed, &guard);
+        // SAFETY: unique ownership.
+        let mut cur = unsafe { head.deref() }.next[0]
+            .load(Ordering::Relaxed, &guard)
+            .with_tag(0);
+        unsafe {
+            drop(head.into_owned());
+            while !cur.is_null() {
+                let boxed = cur.into_owned().into_box();
+                cur = boxed.next[0].load(Ordering::Relaxed, &guard).with_tag(0);
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for LockFreeSkipList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockFreeSkipList").finish_non_exhaustive()
+    }
+}
+
+impl<T: Ord + Send + Sync> FromIterator<T> for LockFreeSkipList<T> {
+    /// Collects into a set (duplicates are dropped).
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let set = LockFreeSkipList::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl<T: Ord + Send + Sync> Extend<T> for LockFreeSkipList<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_core::ConcurrentSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn remove_min_drains_in_order() {
+        let s = LockFreeSkipList::new();
+        for k in [5, 1, 9, 3, 7] {
+            s.insert(k);
+        }
+        assert_eq!(s.min(), Some(1));
+        let mut out = Vec::new();
+        while let Some(k) = s.remove_min() {
+            out.push(k);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn to_vec_is_sorted_and_complete() {
+        let s = LockFreeSkipList::new();
+        for k in [9, 2, 7, 4, 1] {
+            s.insert(k);
+        }
+        s.remove(&7);
+        assert_eq!(s.to_vec(), vec![1, 2, 4, 9]);
+    }
+
+    #[test]
+    fn concurrent_remove_min_yields_distinct_keys() {
+        let s = Arc::new(LockFreeSkipList::new());
+        const N: i64 = 2_000;
+        for k in 0..N {
+            s.insert(k);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(k) = s.remove_min() {
+                        got.push(k);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let want: Vec<i64> = (0..N).collect();
+        assert_eq!(all, want, "keys lost or duplicated by remove_min");
+    }
+
+    #[test]
+    fn insert_remove_churn_single_key_range() {
+        let s = Arc::new(LockFreeSkipList::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..400i64 {
+                        let k = (t as i64 * 7 + i) % 16;
+                        s.insert(k);
+                        s.remove(&k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = s.len();
+        let found = (0..16i64).filter(|k| s.contains(k)).count();
+        assert_eq!(n, found);
+    }
+}

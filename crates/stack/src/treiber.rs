@@ -1,0 +1,296 @@
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ptr;
+use std::sync::atomic::Ordering;
+
+use cds_core::ConcurrentStack;
+use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_sync::Backoff;
+
+struct Node<T> {
+    /// Taken out by the winning popper; dropped by `Drop for TreiberStack`
+    /// for nodes still linked when the stack dies.
+    value: ManuallyDrop<T>,
+    next: Atomic<Node<T>>,
+}
+
+/// The Treiber lock-free stack (R. K. Treiber, 1986).
+///
+/// The head pointer is the single point of synchronization: `push` links a
+/// new node with one CAS, `pop` unlinks the head with one CAS. Both
+/// operations are **lock-free** — some thread always completes in a bounded
+/// number of steps — though an individual thread can starve under a
+/// perfectly adversarial schedule.
+///
+/// Unlinked nodes are handed to the epoch collector
+/// ([`cds_reclaim::epoch`]) because a slow concurrent popper may still be
+/// reading them; see [`HpTreiberStack`](crate::HpTreiberStack) for the
+/// hazard-pointer variant.
+///
+/// # Example
+///
+/// ```
+/// use cds_core::ConcurrentStack;
+/// use cds_stack::TreiberStack;
+///
+/// let s = TreiberStack::new();
+/// s.push(10);
+/// s.push(20);
+/// assert_eq!(s.pop(), Some(20));
+/// assert_eq!(s.pop(), Some(10));
+/// assert_eq!(s.pop(), None);
+/// ```
+pub struct TreiberStack<T> {
+    head: Atomic<Node<T>>,
+}
+
+// SAFETY: values of type `T` cross threads (pushed on one, popped on
+// another), which is exactly `T: Send`. No `&T` is ever shared.
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+
+impl<T> TreiberStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        TreiberStack {
+            head: Atomic::null(),
+        }
+    }
+
+    fn push_node(&self, node: Shared<'_, Node<T>>, guard: &Guard) {
+        let backoff = Backoff::new();
+        loop {
+            let head = self.head.load(Ordering::Relaxed, guard);
+            // SAFETY: `node` is ours until the CAS below publishes it.
+            unsafe { node.deref() }.next.store(head, Ordering::Relaxed);
+            // Release: publish the node's initialization with the link.
+            if self
+                .head
+                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, guard)
+                .is_ok()
+            {
+                return;
+            }
+            backoff.spin();
+        }
+    }
+
+    /// Attempts a single push CAS; on contention returns the value back.
+    /// Used by the elimination-backoff stack to interleave CAS attempts
+    /// with elimination rounds.
+    pub(crate) fn try_push(&self, value: T) -> Result<(), T> {
+        let guard = epoch::pin();
+        let node = Owned::new(Node {
+            value: ManuallyDrop::new(value),
+            next: Atomic::null(),
+        })
+        .into_shared(&guard);
+        let head = self.head.load(Ordering::Relaxed, &guard);
+        // SAFETY: `node` is unpublished.
+        unsafe { node.deref() }.next.store(head, Ordering::Relaxed);
+        match self
+            .head
+            .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, &guard)
+        {
+            Ok(_) => Ok(()),
+            Err(_) => {
+                // SAFETY: the node was never published; we still own it.
+                let mut boxed = unsafe { node.into_owned() }.into_box();
+                // SAFETY: the value was never taken.
+                Err(unsafe { ManuallyDrop::take(&mut boxed.value) })
+            }
+        }
+    }
+
+    /// Attempts a single pop CAS. `Ok(None)` means the stack was empty;
+    /// `Err(())` means the CAS lost a race.
+    pub(crate) fn try_pop(&self) -> Result<Option<T>, ()> {
+        let guard = epoch::pin();
+        let head = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: pinned.
+        let node = match unsafe { head.as_ref() } {
+            None => return Ok(None),
+            Some(n) => n,
+        };
+        let next = node.next.load(Ordering::Relaxed, &guard);
+        match self
+            .head
+            .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, &guard)
+        {
+            Ok(_) => {
+                // SAFETY: as in `pop_node`.
+                unsafe {
+                    let value = ptr::read(&*node.value);
+                    guard.defer_destroy(head);
+                    Ok(Some(value))
+                }
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    fn pop_node(&self, guard: &Guard) -> Option<T> {
+        let backoff = Backoff::new();
+        loop {
+            let head = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: the guard pins the epoch, so `head` cannot have been
+            // freed; it was allocated by `push`.
+            let node = unsafe { head.as_ref() }?;
+            let next = node.next.load(Ordering::Relaxed, guard);
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, guard)
+                .is_ok()
+            {
+                // SAFETY: winning the CAS makes us the unique owner of the
+                // value; the node itself may still be read by concurrent
+                // poppers, so its destruction is deferred.
+                unsafe {
+                    let value = ptr::read(&*node.value);
+                    guard.defer_destroy(head);
+                    return Some(value);
+                }
+            }
+            backoff.spin();
+        }
+    }
+}
+
+impl<T> Default for TreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static> ConcurrentStack<T> for TreiberStack<T> {
+    const NAME: &'static str = "treiber";
+
+    fn push(&self, value: T) {
+        let guard = epoch::pin();
+        let node = Owned::new(Node {
+            value: ManuallyDrop::new(value),
+            next: Atomic::null(),
+        })
+        .into_shared(&guard);
+        self.push_node(node, &guard);
+    }
+
+    fn pop(&self) -> Option<T> {
+        let guard = epoch::pin();
+        self.pop_node(&guard)
+    }
+
+    fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        self.head.load(Ordering::Acquire, &guard).is_null()
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` — no concurrent access, so no pinning needed.
+        let guard = unsafe { Guard::unprotected() };
+        let mut cur = self.head.load(Ordering::Relaxed, &guard);
+        while !cur.is_null() {
+            // SAFETY: unique access; every linked node is alive and owned
+            // by the stack, and its value was never taken by a popper.
+            unsafe {
+                let mut boxed = cur.into_owned().into_box();
+                ManuallyDrop::drop(&mut boxed.value);
+                cur = boxed.next.load(Ordering::Relaxed, &guard);
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Walking the list here would require pinning; report presence only.
+        f.debug_struct("TreiberStack").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> FromIterator<T> for TreiberStack<T> {
+    /// Collects into a stack; the **last** item of the iterator ends up on
+    /// top.
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let stack = TreiberStack::new();
+        for v in iter {
+            stack.push(v);
+        }
+        stack
+    }
+}
+
+impl<T: Send + 'static> Extend<T> for TreiberStack<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_round_trip() {
+        let s = TreiberStack::new();
+        s.push(String::from("x"));
+        assert_eq!(s.pop().as_deref(), Some("x"));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn values_dropped_exactly_once() {
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, AOrd::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let s = TreiberStack::new();
+            for _ in 0..10 {
+                s.push(D(Arc::clone(&drops)));
+            }
+            // Pop half; the rest die with the stack.
+            for _ in 0..5 {
+                drop(s.pop());
+            }
+            assert_eq!(drops.load(AOrd::SeqCst), 5);
+        }
+        assert_eq!(drops.load(AOrd::SeqCst), 10, "stack drop leaked values");
+    }
+
+    #[test]
+    fn concurrent_push_pop_totals() {
+        let s = Arc::new(TreiberStack::new());
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for i in 0..1000usize {
+                        s.push(i);
+                        if let Some(v) = s.pop() {
+                            total.fetch_add(v, AOrd::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every push is matched by a pop within the same iteration or left
+        // in the stack; drain whatever remains.
+        while s.pop().is_some() {}
+        assert!(s.is_empty());
+    }
+}

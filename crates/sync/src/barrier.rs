@@ -1,0 +1,185 @@
+//! Reusable barriers (Herlihy & Shavit ch. 17).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::Backoff;
+
+/// A **sense-reversing** barrier (generalized to a round counter).
+///
+/// The textbook reusable barrier: one shared countdown plus a per-round
+/// *sense* that changes each round. Threads decrement the count; the last
+/// one advances the sense, releasing the others, and the barrier is
+/// immediately reusable — no second "reset" phase and no risk of a fast
+/// thread lapping a slow one. This implementation generalizes the
+/// traditional boolean sense to a monotonic **round counter**, which makes
+/// the construction stateless per thread (no thread-local sense to keep in
+/// step, so one thread may freely use several barriers).
+///
+/// Unlike [`std::sync::Barrier`], waiting spins (with
+/// [`Backoff`] escalation to `yield`), which is the right trade-off for the
+/// short phase gaps of data-parallel loops this construct is designed for.
+///
+/// # Example
+///
+/// ```
+/// use cds_sync::SenseBarrier;
+/// use std::sync::Arc;
+///
+/// let barrier = Arc::new(SenseBarrier::new(3));
+/// let handles: Vec<_> = (0..3)
+///     .map(|_| {
+///         let barrier = Arc::clone(&barrier);
+///         std::thread::spawn(move || {
+///             for _round in 0..10 {
+///                 // ... phase work ...
+///                 barrier.wait(); // all threads finish the round together
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// ```
+pub struct SenseBarrier {
+    count: AtomicUsize,
+    size: usize,
+    /// The generalized sense: advanced by the last arriver each round.
+    round: AtomicUsize,
+}
+
+impl SenseBarrier {
+    /// Creates a barrier for `size` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "barrier needs at least one participant");
+        SenseBarrier {
+            count: AtomicUsize::new(size),
+            size,
+            round: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all `size` threads have called `wait` this round.
+    ///
+    /// Returns `true` on exactly one thread per round (the last arriver),
+    /// mirroring `std::sync::Barrier`'s leader result.
+    pub fn wait(&self) -> bool {
+        // The round must be read before announcing arrival: once our
+        // decrement lands, the last arriver may advance the round at any
+        // moment.
+        let round = self.round.load(Ordering::Acquire);
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arriver: reset the count, then release the round. The
+            // reset must be visible before the release, or a released
+            // thread could decrement a stale count; `round`'s Release
+            // store orders it.
+            self.count.store(self.size, Ordering::Relaxed);
+            self.round.store(round.wrapping_add(1), Ordering::Release);
+            true
+        } else {
+            let backoff = Backoff::new();
+            while self.round.load(Ordering::Acquire) == round {
+                backoff.snooze();
+            }
+            false
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl fmt::Debug for SenseBarrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SenseBarrier")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..100 {
+            assert!(b.wait(), "sole participant is always the leader");
+        }
+    }
+
+    #[test]
+    fn rounds_are_synchronized() {
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 50;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let phase = Arc::clone(&phase);
+                std::thread::spawn(move || {
+                    for round in 0..ROUNDS {
+                        // Everyone must observe the phase of the current
+                        // round before anyone moves to the next.
+                        assert_eq!(phase.load(Ordering::SeqCst), round);
+                        if barrier.wait() {
+                            phase.fetch_add(1, Ordering::SeqCst);
+                        }
+                        barrier.wait(); // second barrier: phase bump visible
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), ROUNDS);
+    }
+
+    #[test]
+    fn one_thread_using_two_barriers_stays_correct() {
+        // Regression test: a thread-local-sense implementation desyncs when
+        // a thread alternates between barriers; the round counter must not.
+        let a = SenseBarrier::new(1);
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            assert!(a.wait());
+            assert!(b.wait());
+            assert!(a.wait());
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        const THREADS: usize = 3;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let leaders = Arc::clone(&leaders);
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 20);
+    }
+}

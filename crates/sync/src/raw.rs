@@ -1,0 +1,52 @@
+/// A raw mutual-exclusion lock.
+///
+/// The trait abstracts over the lock implementations in this crate so that
+/// data-carrying wrappers ([`Lock`](crate::Lock)) and benchmarks can be
+/// generic over the locking discipline.
+///
+/// Queue locks (CLH, MCS) need per-acquisition state — the queue node — so
+/// acquisition returns an opaque [`Token`](RawLock::Token) that must be
+/// passed back to [`unlock`](RawLock::unlock). Locks without per-acquisition
+/// state use `Token = ()`.
+///
+/// # Safety contract (for implementors)
+///
+/// Between a `lock` returning a token and the corresponding `unlock`, no
+/// other call to `lock` on the same instance may return. `unlock` must only
+/// be called with a token obtained from `lock`/`try_lock` on the *same*
+/// lock instance, exactly once.
+///
+/// # Example
+///
+/// ```
+/// use cds_sync::{RawLock, TtasLock};
+///
+/// let lock = TtasLock::new();
+/// let token = lock.lock();
+/// // ... critical section ...
+/// lock.unlock(token);
+/// ```
+pub trait RawLock: Default + Send + Sync {
+    /// Per-acquisition state returned by [`lock`](RawLock::lock) and
+    /// consumed by [`unlock`](RawLock::unlock).
+    type Token;
+
+    /// A short human-readable name for benchmark reports, e.g. `"mcs"`.
+    const NAME: &'static str;
+
+    /// Acquires the lock, spinning until it is available.
+    fn lock(&self) -> Self::Token;
+
+    /// Attempts to acquire the lock without waiting.
+    ///
+    /// Returns `None` if the lock was held. Queue locks that cannot
+    /// implement a cheap try-acquire may always return `None`; callers must
+    /// not assume `try_lock` ever succeeds.
+    fn try_lock(&self) -> Option<Self::Token>;
+
+    /// Releases the lock.
+    ///
+    /// `token` must come from a `lock`/`try_lock` call on `self` that has
+    /// not yet been unlocked.
+    fn unlock(&self, token: Self::Token);
+}

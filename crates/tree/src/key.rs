@@ -1,0 +1,93 @@
+//! Keys extended with the two sentinel infinities the external BSTs need.
+
+use std::cmp::Ordering;
+
+/// A key or one of two sentinel infinities, with
+/// `Finite(_) < Inf1 < Inf2`.
+///
+/// The external BSTs (Ellen et al.; the fine-grained variant follows the
+/// same shape) are seeded with a root `Internal(Inf2)` whose children are
+/// `Leaf(Inf1)` and `Leaf(Inf2)`. Every finite key routes left of both
+/// sentinels, so after the first insertion every *real* leaf has both a
+/// parent and a grandparent — exactly what the deletion protocol requires —
+/// and the sentinel leaves are never deleted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TreeKey<T> {
+    /// An ordinary key.
+    Finite(T),
+    /// Greater than every finite key.
+    Inf1,
+    /// Greater than `Inf1`.
+    Inf2,
+}
+
+impl<T> TreeKey<T> {
+    /// The finite key, if this is one (used by tests and diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn finite(&self) -> Option<&T> {
+        match self {
+            TreeKey::Finite(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn is_finite(&self) -> bool {
+        matches!(self, TreeKey::Finite(_))
+    }
+}
+
+impl<T: Ord> TreeKey<T> {
+    /// Compares against a finite key.
+    pub(crate) fn cmp_key(&self, key: &T) -> Ordering {
+        match self {
+            TreeKey::Finite(v) => v.cmp(key),
+            _ => Ordering::Greater,
+        }
+    }
+}
+
+impl<T: Ord> PartialOrd for TreeKey<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord> Ord for TreeKey<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use TreeKey::*;
+        match (self, other) {
+            (Finite(a), Finite(b)) => a.cmp(b),
+            (Finite(_), _) => Ordering::Less,
+            (_, Finite(_)) => Ordering::Greater,
+            (Inf1, Inf1) | (Inf2, Inf2) => Ordering::Equal,
+            (Inf1, Inf2) => Ordering::Less,
+            (Inf2, Inf1) => Ordering::Greater,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_order() {
+        assert!(TreeKey::Finite(i64::MAX) < TreeKey::Inf1);
+        assert!(TreeKey::<i64>::Inf1 < TreeKey::Inf2);
+        assert!(TreeKey::Finite(1) < TreeKey::Finite(2));
+    }
+
+    #[test]
+    fn cmp_key_treats_sentinels_as_greater() {
+        assert_eq!(TreeKey::<i32>::Inf1.cmp_key(&i32::MAX), Ordering::Greater);
+        assert_eq!(TreeKey::Finite(3).cmp_key(&3), Ordering::Equal);
+    }
+
+    #[test]
+    fn finite_accessor() {
+        assert_eq!(TreeKey::Finite(5).finite(), Some(&5));
+        assert!(TreeKey::<i32>::Inf2.finite().is_none());
+        assert!(TreeKey::Finite(1).is_finite());
+        assert!(!TreeKey::<i32>::Inf1.is_finite());
+    }
+}

@@ -1,0 +1,124 @@
+//! Quickstart: a tour of the `cds` family.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+use std::thread;
+
+use cds::core::{
+    ConcurrentCounter, ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack,
+};
+
+fn main() {
+    // ── Counters: pick your contention profile ─────────────────────────
+    let hits = Arc::new(cds::counter::ShardedCounter::new());
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let hits = Arc::clone(&hits);
+            thread::spawn(move || {
+                for _ in 0..10_000 {
+                    hits.increment();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    println!(
+        "sharded counter counted {} hits (exact at quiescence)",
+        hits.get()
+    );
+
+    // ── Stacks: lock-free Treiber as a drop-in for Mutex<Vec<_>> ──────
+    let stack = Arc::new(cds::stack::TreiberStack::new());
+    let pushers: Vec<_> = (0..4)
+        .map(|t| {
+            let stack = Arc::clone(&stack);
+            thread::spawn(move || {
+                for i in 0..100 {
+                    stack.push(t * 100 + i);
+                }
+            })
+        })
+        .collect();
+    for p in pushers {
+        p.join().unwrap();
+    }
+    let mut drained = 0;
+    while stack.pop().is_some() {
+        drained += 1;
+    }
+    println!("treiber stack drained {drained} elements");
+
+    // ── Queues: Michael–Scott for MPMC hand-off ────────────────────────
+    let queue = Arc::new(cds::queue::MsQueue::new());
+    queue.enqueue("first");
+    queue.enqueue("second");
+    println!(
+        "ms queue is FIFO: {:?} then {:?}",
+        queue.dequeue(),
+        queue.dequeue()
+    );
+
+    // ── Sets: five list algorithms, one trait ──────────────────────────
+    let lazy = cds::list::LazyList::new();
+    let lock_free = cds::list::HarrisMichaelList::new();
+    for k in [3, 1, 4, 1, 5] {
+        lazy.insert(k);
+        lock_free.insert(k);
+    }
+    println!(
+        "lazy list holds {} keys; harris-michael holds {}",
+        lazy.len(),
+        lock_free.len()
+    );
+
+    // ── Maps: a lock-free hash table that grows in place ───────────────
+    let map = cds::map::SplitOrderedHashMap::new();
+    for i in 0..1_000u64 {
+        map.insert(i, i * i);
+    }
+    println!(
+        "split-ordered map: 40^2 = {:?}, buckets grew to {}",
+        map.get(&40),
+        map.bucket_count()
+    );
+
+    // ── Ordered sets: skiplist and BST, coarse to lock-free ────────────
+    let skiplist = cds::skiplist::LockFreeSkipList::new();
+    let bst = cds::tree::LockFreeBst::new();
+    for k in [50, 20, 80, 10, 30] {
+        skiplist.insert(k);
+        bst.insert(k);
+    }
+    println!(
+        "skiplist min = {:?}; bst contains 30: {}",
+        skiplist.min(),
+        bst.contains(&30)
+    );
+
+    // ── Priority queue: Lotan–Shavit over the skiplist ─────────────────
+    use cds::core::ConcurrentPriorityQueue;
+    let pq = cds::prio::SkipListPriorityQueue::new();
+    for deadline in [30u64, 10, 20] {
+        pq.insert(deadline);
+    }
+    println!("earliest deadline: {:?}", pq.remove_min());
+
+    // ── Locks: pick the discipline that fits the contention ────────────
+    use cds::sync::{Lock, McsLock};
+    let shared = Arc::new(Lock::<McsLock, Vec<u32>>::new(Vec::new()));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || shared.lock().push(t))
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    println!("mcs-locked vec has {} entries", shared.lock().len());
+
+    println!("quickstart done");
+}

@@ -1,0 +1,46 @@
+//! # cds — Concurrent Data Structures
+//!
+//! The facade crate for the `cds` family: re-exports every subcrate under
+//! one roof. See the [README](https://example.com/cds) for the full tour
+//! and `DESIGN.md` for the system inventory.
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`core`] | The shared traits (`ConcurrentStack`, `ConcurrentQueue`, `ConcurrentSet`, `ConcurrentMap`, `ConcurrentPriorityQueue`, `ConcurrentCounter`) |
+//! | [`sync`] | Spin locks (TAS/TTAS/ticket/CLH/MCS), `RwSpinLock`, `SeqLock`, `FlatCombining`, `Backoff`, `CachePadded` |
+//! | [`reclaim`] | Epoch-based reclamation and hazard pointers (from scratch) |
+//! | [`stack`] | Coarse, Treiber (epoch + hazard-pointer), elimination-backoff, flat-combining stacks |
+//! | [`queue`] | Coarse, two-lock, flat-combining, Michael–Scott, bounded MPMC, SPSC ring, Chase–Lev deque |
+//! | [`counter`] | Lock, atomic, sharded, combining-tree counters |
+//! | [`list`] | The list ladder: coarse → hand-over-hand → optimistic → lazy → Harris–Michael |
+//! | [`map`] | Coarse, striped, bucketed (Michael), split-ordered (Shalev–Shavit) hash tables |
+//! | [`skiplist`] | Coarse, lazy, lock-free skiplists |
+//! | [`tree`] | Coarse, fine-grained external, Ellen et al. lock-free BSTs |
+//! | [`prio`] | Coarse binary heap, Lotan–Shavit skiplist priority queue |
+//! | [`lincheck`] | History recording and Wing–Gong linearizability checking |
+//!
+//! # Example
+//!
+//! ```
+//! use cds::core::ConcurrentMap;
+//! use cds::map::SplitOrderedHashMap;
+//!
+//! let m = SplitOrderedHashMap::new();
+//! m.insert("answer", 42);
+//! assert_eq!(m.get(&"answer"), Some(42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cds_core as core;
+pub use cds_counter as counter;
+pub use cds_lincheck as lincheck;
+pub use cds_list as list;
+pub use cds_map as map;
+pub use cds_prio as prio;
+pub use cds_queue as queue;
+pub use cds_reclaim as reclaim;
+pub use cds_skiplist as skiplist;
+pub use cds_stack as stack;
+pub use cds_sync as sync;
+pub use cds_tree as tree;

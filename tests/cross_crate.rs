@@ -1,0 +1,188 @@
+//! Integration scenarios spanning multiple crates: structures composed
+//! into realistic multi-threaded pipelines, with end-to-end invariants.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cds_core::{ConcurrentCounter, ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack};
+use cds_counter::ShardedCounter;
+use cds_map::StripedHashMap;
+use cds_queue::{ChaseLevDeque, MsQueue, Steal};
+use cds_skiplist::LockFreeSkipList;
+use cds_stack::TreiberStack;
+
+/// Producer → queue → worker → map pipeline: every produced job must be
+/// processed exactly once and its result recorded.
+#[test]
+fn queue_feeds_map_pipeline() {
+    let jobs: Arc<MsQueue<u64>> = Arc::new(MsQueue::new());
+    let results: Arc<StripedHashMap<u64, u64>> = Arc::new(StripedHashMap::new());
+    let done = Arc::new(AtomicUsize::new(0));
+    const JOBS: u64 = 2_000;
+
+    let producer = {
+        let jobs = Arc::clone(&jobs);
+        std::thread::spawn(move || {
+            for j in 0..JOBS {
+                jobs.enqueue(j);
+            }
+        })
+    };
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            let jobs = Arc::clone(&jobs);
+            let results = Arc::clone(&results);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || loop {
+                match jobs.dequeue() {
+                    Some(j) => {
+                        assert!(results.insert(j, j * j), "job {j} processed twice");
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        if done.load(Ordering::SeqCst) as u64 == JOBS {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    producer.join().unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(results.len() as u64, JOBS);
+    for j in 0..JOBS {
+        assert_eq!(results.get(&j), Some(j * j));
+    }
+}
+
+/// Work-stealing: an owner floods its deque, thieves drain it, everything
+/// lands in a shared lock-free set exactly once.
+#[test]
+fn work_stealing_into_lock_free_set() {
+    let (worker, stealer) = ChaseLevDeque::new();
+    let seen: Arc<LockFreeSkipList<u64>> = Arc::new(LockFreeSkipList::new());
+    const TASKS: u64 = 5_000;
+
+    let thieves: Vec<_> = (0..2)
+        .map(|_| {
+            let stealer = stealer.clone();
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                let mut empty_streak = 0;
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(t) => {
+                            assert!(seen.insert(t), "task {t} executed twice");
+                            empty_streak = 0;
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            empty_streak += 1;
+                            if empty_streak > 1_000 {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for t in 0..TASKS {
+        worker.push(t);
+    }
+    // Owner also works from its own deque.
+    while let Some(t) = worker.pop() {
+        assert!(seen.insert(t), "task {t} executed twice");
+    }
+    for t in thieves {
+        t.join().unwrap();
+    }
+    assert_eq!(seen.len() as u64, TASKS);
+}
+
+/// A free-list allocator pattern: threads check tokens in and out of a
+/// shared Treiber stack; the sharded counter audits the flow.
+#[test]
+fn stack_as_free_list_with_counter_audit() {
+    let pool: Arc<TreiberStack<usize>> = Arc::new(TreiberStack::new());
+    let checkouts = Arc::new(ShardedCounter::new());
+    for token in 0..64 {
+        pool.push(token);
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let checkouts = Arc::clone(&checkouts);
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    if let Some(token) = pool.pop() {
+                        checkouts.increment();
+                        // "Use" the token, then return it.
+                        pool.push(token);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every token returned: drain exactly 64 distinct tokens.
+    let mut tokens = Vec::new();
+    while let Some(t) = pool.pop() {
+        tokens.push(t);
+    }
+    tokens.sort_unstable();
+    assert_eq!(tokens, (0..64).collect::<Vec<_>>());
+    assert!(checkouts.get() > 0);
+}
+
+/// The facade crate re-exports every subcrate.
+#[test]
+fn facade_reexports_compile() {
+    let stack: cds::stack::TreiberStack<u8> = cds::stack::TreiberStack::new();
+    use cds::core::ConcurrentStack as _;
+    stack.push(1);
+    assert_eq!(stack.pop(), Some(1));
+
+    let lock = cds::sync::SeqLock::new(5u32);
+    assert_eq!(lock.read(), 5);
+
+    let counter = cds::counter::AtomicCounter::new();
+    use cds::core::ConcurrentCounter as _;
+    counter.increment();
+    assert_eq!(counter.get(), 1);
+}
+
+/// `FromIterator` round trips (API guideline C-COLLECT).
+#[test]
+fn collect_round_trips() {
+    use cds_core::ConcurrentStack as _;
+    let stack: cds_stack::TreiberStack<u32> = (0..10).collect();
+    assert_eq!(stack.pop(), Some(9), "last pushed on top");
+
+    use cds_core::ConcurrentQueue as _;
+    let queue: cds_queue::MsQueue<u32> = (0..10).collect();
+    assert_eq!(queue.dequeue(), Some(0), "first in, first out");
+
+    let set: cds_list::HarrisMichaelList<u32> = [3, 1, 3, 2].into_iter().collect();
+    assert_eq!(set.len(), 3, "duplicates dropped");
+
+    let skips: cds_skiplist::LockFreeSkipList<u32> = (0..100).collect();
+    assert_eq!(skips.min(), Some(0));
+
+    let map: cds_map::StripedHashMap<u32, &str> =
+        [(1, "first"), (1, "second")].into_iter().collect();
+    assert_eq!(map.get(&1), Some("first"), "first insert wins");
+
+    let mut lazy: cds_list::LazyList<u32> = (0..5).collect();
+    lazy.extend(5..10);
+    assert_eq!(lazy.len(), 10);
+}

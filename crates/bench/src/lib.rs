@@ -71,7 +71,7 @@ impl XorShift {
 
     /// Next pseudo-random value.
     #[inline]
-    pub fn next(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.0 ^= self.0 << 13;
         self.0 ^= self.0 >> 7;
         self.0 ^= self.0 << 17;
@@ -117,7 +117,7 @@ where
     let mut rng = XorShift::new(42);
     let mut inserted = 0usize;
     while inserted < w.prefill {
-        if set.insert(rng.next() % w.key_range) {
+        if set.insert(rng.next_u64() % w.key_range) {
             inserted += 1;
         }
         if w.prefill as u64 > w.key_range {
@@ -128,8 +128,8 @@ where
     run_threads(w.threads, w.threads * w.ops_per_thread, move |t| {
         let mut rng = XorShift::new(t as u64 + 1);
         for _ in 0..w.ops_per_thread {
-            let k = rng.next() % w.key_range;
-            let dice = (rng.next() % 100) as u8;
+            let k = rng.next_u64() % w.key_range;
+            let dice = (rng.next_u64() % 100) as u8;
             if dice < w.read_pct {
                 std::hint::black_box(set2.contains(&k));
             } else if dice < w.read_pct + w.insert_pct {
@@ -149,7 +149,7 @@ where
     let mut rng = XorShift::new(42);
     let mut inserted = 0usize;
     while inserted < w.prefill {
-        let k = rng.next() % w.key_range;
+        let k = rng.next_u64() % w.key_range;
         if map.insert(k, k) {
             inserted += 1;
         }
@@ -161,8 +161,8 @@ where
     run_threads(w.threads, w.threads * w.ops_per_thread, move |t| {
         let mut rng = XorShift::new(t as u64 + 1);
         for _ in 0..w.ops_per_thread {
-            let k = rng.next() % w.key_range;
-            let dice = (rng.next() % 100) as u8;
+            let k = rng.next_u64() % w.key_range;
+            let dice = (rng.next_u64() % 100) as u8;
             if dice < w.read_pct {
                 std::hint::black_box(map2.get(&k));
             } else if dice < w.read_pct + w.insert_pct {
@@ -186,7 +186,7 @@ where
     run_threads(threads, threads * ops_per_thread, move |t| {
         let mut rng = XorShift::new(t as u64 + 1);
         for _ in 0..ops_per_thread {
-            if rng.next().is_multiple_of(2) {
+            if rng.next_u64().is_multiple_of(2) {
                 stack2.push(t as u64);
             } else {
                 std::hint::black_box(stack2.pop());
@@ -207,7 +207,7 @@ where
     run_threads(threads, threads * ops_per_thread, move |t| {
         let mut rng = XorShift::new(t as u64 + 1);
         for _ in 0..ops_per_thread {
-            if rng.next().is_multiple_of(2) {
+            if rng.next_u64().is_multiple_of(2) {
                 queue2.enqueue(t as u64);
             } else {
                 std::hint::black_box(queue2.dequeue());
@@ -237,14 +237,14 @@ where
 {
     let mut rng = XorShift::new(7);
     for _ in 0..4096 {
-        pq.insert(rng.next() % 1_000_000);
+        pq.insert(rng.next_u64() % 1_000_000);
     }
     let pq2 = Arc::clone(&pq);
     run_threads(threads, threads * ops_per_thread, move |t| {
         let mut rng = XorShift::new(t as u64 + 1);
         for _ in 0..ops_per_thread {
-            if rng.next().is_multiple_of(2) {
-                std::hint::black_box(pq2.insert(rng.next() % 1_000_000));
+            if rng.next_u64().is_multiple_of(2) {
+                std::hint::black_box(pq2.insert(rng.next_u64() % 1_000_000));
             } else {
                 std::hint::black_box(pq2.remove_min());
             }
@@ -356,7 +356,7 @@ mod tests {
         let mut a = XorShift::new(1);
         let mut b = XorShift::new(1);
         for _ in 0..100 {
-            assert_eq!(a.next(), b.next());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 

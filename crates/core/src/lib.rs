@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod bound;
+pub mod stress;
 
 pub use bound::Bound;
 

@@ -109,6 +109,7 @@ impl ConcurrentCounter for CombiningTreeCounter {
         let mut carry = delta;
         let mut index = self.leaf_index();
         loop {
+            cds_core::stress::yield_point();
             let node = &self.nodes[index];
             if node
                 .combining

@@ -80,11 +80,18 @@ impl ConcurrentCounter for ShardedCounter {
     const NAME: &'static str = "sharded";
 
     fn add(&self, delta: i64) {
+        cds_core::stress::yield_point();
         self.my_shard().fetch_add(delta, Ordering::Relaxed);
     }
 
     fn get(&self) -> i64 {
-        self.shards.iter().map(|s| s.load(Ordering::Acquire)).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                cds_core::stress::yield_point();
+                s.load(Ordering::Acquire)
+            })
+            .sum()
     }
 }
 

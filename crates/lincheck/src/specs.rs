@@ -23,12 +23,12 @@ pub enum StackRes<T> {
 }
 
 /// Sequential LIFO stack.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct StackSpec<T> {
     items: Vec<T>,
 }
 
-impl<T: Clone + PartialEq> Spec for StackSpec<T> {
+impl<T: Clone + Eq + std::hash::Hash> Spec for StackSpec<T> {
     type Op = StackOp<T>;
     type Res = StackRes<T>;
 
@@ -62,12 +62,12 @@ pub enum QueueRes<T> {
 }
 
 /// Sequential FIFO queue.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct QueueSpec<T> {
     items: VecDeque<T>,
 }
 
-impl<T: Clone + PartialEq> Spec for QueueSpec<T> {
+impl<T: Clone + Eq + std::hash::Hash> Spec for QueueSpec<T> {
     type Op = QueueOp<T>;
     type Res = QueueRes<T>;
 
@@ -78,6 +78,51 @@ impl<T: Clone + PartialEq> Spec for QueueSpec<T> {
                 QueueRes::Enqueued
             }
             QueueOp::Dequeue => QueueRes::Dequeued(self.items.pop_front()),
+        }
+    }
+}
+
+/// Work-stealing deque operations (Chase–Lev): the owner pushes and pops
+/// at the bottom; thieves steal from the top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DequeOp<T> {
+    /// Owner pushes at the bottom (the LIFO end).
+    PushBottom(T),
+    /// Owner pops from the bottom.
+    PopBottom,
+    /// A thief steals from the top (the FIFO end).
+    Steal,
+}
+
+/// Work-stealing deque results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DequeRes<T> {
+    /// A push completed.
+    Pushed,
+    /// What the owner's pop returned.
+    Popped(Option<T>),
+    /// What a steal returned (`None` = observed empty).
+    Stolen(Option<T>),
+}
+
+/// Sequential work-stealing deque: owner end is LIFO, thief end is FIFO.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct DequeSpec<T> {
+    items: VecDeque<T>,
+}
+
+impl<T: Clone + PartialEq + Eq + std::hash::Hash> Spec for DequeSpec<T> {
+    type Op = DequeOp<T>;
+    type Res = DequeRes<T>;
+
+    fn apply(&mut self, op: &DequeOp<T>) -> DequeRes<T> {
+        match op {
+            DequeOp::PushBottom(v) => {
+                self.items.push_back(v.clone());
+                DequeRes::Pushed
+            }
+            DequeOp::PopBottom => DequeRes::Popped(self.items.pop_back()),
+            DequeOp::Steal => DequeRes::Stolen(self.items.pop_front()),
         }
     }
 }
@@ -94,12 +139,12 @@ pub enum SetOp<T> {
 }
 
 /// Sequential ordered set with dictionary semantics; results are `bool`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct SetSpec<T: Ord> {
     items: BTreeSet<T>,
 }
 
-impl<T: Ord + Clone> Spec for SetSpec<T> {
+impl<T: Ord + Clone + std::hash::Hash> Spec for SetSpec<T> {
     type Op = SetOp<T>;
     type Res = bool;
 
@@ -133,12 +178,12 @@ pub enum MapRes<V> {
 }
 
 /// Sequential map with insert-if-absent semantics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct MapSpec<K: Ord, V> {
     items: std::collections::BTreeMap<K, V>,
 }
 
-impl<K: Ord + Clone, V: Clone + PartialEq> Spec for MapSpec<K, V> {
+impl<K: Ord + Clone + std::hash::Hash, V: Clone + Eq + std::hash::Hash> Spec for MapSpec<K, V> {
     type Op = MapOp<K, V>;
     type Res = MapRes<V>;
 
@@ -177,12 +222,12 @@ pub enum PqRes<T> {
 }
 
 /// Sequential min-priority queue (set-like: duplicates rejected).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct PqSpec<T: Ord> {
     items: BTreeSet<T>,
 }
 
-impl<T: Ord + Clone> Spec for PqSpec<T> {
+impl<T: Ord + Clone + std::hash::Hash> Spec for PqSpec<T> {
     type Op = PqOp<T>;
     type Res = PqRes<T>;
 
@@ -211,7 +256,7 @@ pub enum CounterOp {
 }
 
 /// Sequential counter; results are `i64`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct CounterSpec {
     value: i64,
 }
@@ -242,7 +287,7 @@ pub enum RegisterOp {
 }
 
 /// Sequential read/write register; results are `i64`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct RegisterSpec {
     value: i64,
 }

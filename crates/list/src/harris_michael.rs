@@ -72,9 +72,11 @@ impl<T: Ord> HarrisMichaelList<T> {
         guard: &'g Guard,
     ) -> (bool, &'g Atomic<Node<T>>, Shared<'g, Node<T>>) {
         'retry: loop {
+            cds_core::stress::yield_point();
             let mut prev = &self.head;
             let mut curr = prev.load(Ordering::Acquire, guard);
             loop {
+                cds_core::stress::yield_point();
                 let curr_ref = match unsafe { curr.as_ref() } {
                     None => return (false, prev, curr),
                     Some(c) => c,
@@ -129,6 +131,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
             next: Atomic::null(),
         });
         loop {
+            cds_core::stress::yield_point();
             let (found, prev, curr) = self.find(&node.key, &guard);
             if found {
                 // Key present; the staged node dies here (it was never
@@ -159,6 +162,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
         let guard = epoch::pin();
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let (found, prev, curr) = self.find(value, &guard);
             if !found {
                 return false;
@@ -210,6 +214,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
         let guard = epoch::pin();
         let mut curr = self.head.load(Ordering::Acquire, &guard);
         loop {
+            cds_core::stress::yield_point();
             let curr_ref = match unsafe { curr.as_ref() } {
                 None => return false,
                 Some(c) => c,

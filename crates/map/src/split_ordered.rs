@@ -178,6 +178,7 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
             next: Atomic::null(),
         });
         let dummy_shared = loop {
+            cds_core::stress::yield_point();
             let (found, prev, curr) = self.find_from(parent_dummy, key, None, guard);
             if found {
                 // Another thread inserted the dummy; ours dies unpublished.
@@ -217,11 +218,13 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
         guard: &'g Guard,
     ) -> FindResult<'g, K, V> {
         'retry: loop {
+            cds_core::stress::yield_point();
             // SAFETY: dummies are never removed, so `start` is alive.
             let start_ref = unsafe { start.deref() };
             let mut prev = &start_ref.next;
             let mut curr = prev.load(Ordering::Acquire, guard);
             loop {
+                cds_core::stress::yield_point();
                 let curr_ref = match unsafe { curr.as_ref() } {
                     None => return (false, prev, curr),
                     Some(c) => c,
@@ -301,6 +304,7 @@ where
             next: Atomic::null(),
         });
         loop {
+            cds_core::stress::yield_point();
             let k_ref = node.kv.as_ref().map(|(k, _)| k);
             let (found, prev, curr) = self.find_from(bucket, so_key, k_ref.map(|k| k as _), &guard);
             if found {
@@ -339,6 +343,7 @@ where
         let bucket = self.bucket_for(hash, &guard);
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let (found, prev, curr) = self.find_from(bucket, so_key, Some(key), &guard);
             if !found {
                 return false;

@@ -34,6 +34,7 @@ pub struct StripedHashMap<K, V, S = RandomState> {
     locks: Box<[Mutex<()>]>,
     /// Replaced only while *all* stripes are held; read under any one
     /// stripe.
+    #[allow(clippy::type_complexity)]
     table: UnsafeCell<Vec<UnsafeCell<Vec<(K, V)>>>>,
     size: AtomicUsize,
     hasher: S,

@@ -84,12 +84,18 @@ impl<T> BoundedQueue<T> {
         enq.saturating_sub(deq)
     }
 
+    /// Whether the queue appears empty (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Attempts to enqueue without blocking; returns the value back if the
     /// queue is full.
     pub fn try_enqueue(&self, value: T) -> Result<(), T> {
         let backoff = Backoff::new();
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
         loop {
+            cds_core::stress::yield_point();
             let slot = &self.buffer[pos & self.mask];
             let seq = slot.sequence.load(Ordering::Acquire);
             match seq as isize - pos as isize {
@@ -125,6 +131,7 @@ impl<T> BoundedQueue<T> {
         let backoff = Backoff::new();
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
         loop {
+            cds_core::stress::yield_point();
             let slot = &self.buffer[pos & self.mask];
             let seq = slot.sequence.load(Ordering::Acquire);
             match seq as isize - (pos + 1) as isize {
@@ -172,6 +179,7 @@ impl<T: Send> ConcurrentQueue<T> for BoundedQueue<T> {
         let mut value = value;
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             match self.try_enqueue(value) {
                 Ok(()) => return,
                 Err(v) => value = v,

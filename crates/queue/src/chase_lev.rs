@@ -160,6 +160,7 @@ impl<T> Worker<T> {
     /// Pushes `value` at the bottom (owner end).
     pub fn push(&self, value: T) {
         let d = &*self.deque;
+        cds_core::stress::yield_point();
         let b = d.bottom.load(Ordering::Relaxed);
         let t = d.top.load(Ordering::Acquire);
         let guard = epoch::pin();
@@ -201,6 +202,7 @@ impl<T> Worker<T> {
         let guard = epoch::pin();
         let buf = d.buffer.load(Ordering::Relaxed, &guard);
         d.bottom.store(b, Ordering::Relaxed);
+        cds_core::stress::yield_point();
         // The fence orders our bottom store against the top load: either a
         // racing thief sees the lowered bottom, or we see its advanced top.
         fence(Ordering::SeqCst);
@@ -279,6 +281,7 @@ impl<T> Stealer<T> {
     /// Attempts to steal the oldest element (FIFO end).
     pub fn steal(&self) -> Steal<T> {
         let d = &*self.deque;
+        cds_core::stress::yield_point();
         let t = d.top.load(Ordering::Acquire);
         // Order the top load before the bottom load (pairs with the owner's
         // SeqCst fence in `pop`).

@@ -37,6 +37,11 @@ impl<T> CoarseQueue<T> {
     pub fn len(&self) -> usize {
         self.items.lock().len()
     }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Default for CoarseQueue<T> {

@@ -73,6 +73,7 @@ impl<T> MsQueue<T> {
         .into_shared(guard);
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let tail = self.tail.load(Ordering::Acquire, guard);
             // SAFETY: pinned; tail is never freed before head passes it.
             let t = unsafe { tail.deref() };
@@ -115,6 +116,7 @@ impl<T> MsQueue<T> {
     fn dequeue_internal(&self, guard: &Guard) -> Option<T> {
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let head = self.head.load(Ordering::Acquire, guard);
             // SAFETY: pinned.
             let h = unsafe { head.deref() };

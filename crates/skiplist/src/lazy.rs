@@ -145,6 +145,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LazySkipList<T> {
         let mut value_slot = Some(value);
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let key = value_slot.as_ref().expect("value present until success");
             let (lfound, preds, succs) = self.find(key, &guard);
             if let Some(l) = lfound {
@@ -153,6 +154,9 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LazySkipList<T> {
                 if !node.marked.load(Ordering::Acquire) {
                     // Present (or being inserted): wait until visible, fail.
                     while !node.fully_linked.load(Ordering::Acquire) {
+                        // Yield first: under the stress scheduler this wait
+                        // depends on the linking thread getting to run.
+                        cds_core::stress::yield_point();
                         backoff.snooze();
                     }
                     return false;
@@ -198,11 +202,13 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LazySkipList<T> {
                 marked: AtomicBool::new(false),
                 fully_linked: AtomicBool::new(false),
             });
+            #[allow(clippy::needless_range_loop)] // lockstep over next/succs
             for l in 0..=top {
                 node.next[l].store(succs[l], Ordering::Relaxed);
             }
             let node = node.into_shared(&guard);
             // Link bottom-up under the predecessor locks.
+            #[allow(clippy::needless_range_loop)]
             for l in 0..=top {
                 // SAFETY: pinned; preds validated and locked.
                 unsafe { preds[l].deref() }.next[l].store(node, Ordering::Release);
@@ -223,6 +229,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LazySkipList<T> {
         let mut is_marked = false;
         let mut top = 0;
         loop {
+            cds_core::stress::yield_point();
             let (lfound, preds, succs) = self.find(value, &guard);
             if !is_marked {
                 let l = match lfound {
@@ -257,6 +264,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LazySkipList<T> {
             let mut guards = Vec::with_capacity(top + 1);
             let mut last: *mut Node<T> = ptr::null_mut();
             let mut valid = true;
+            #[allow(clippy::needless_range_loop)] // lockstep over preds/levels
             for l in 0..=top {
                 let pred = preds[l];
                 let pred_ref = unsafe { pred.deref() };

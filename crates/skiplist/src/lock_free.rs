@@ -88,6 +88,7 @@ impl<T: Ord> LockFreeSkipList<T> {
     /// type-level reclamation argument).
     fn find<'g>(&self, key: &T, guard: &'g Guard) -> FindResult<'g, T> {
         'retry: loop {
+            cds_core::stress::yield_point();
             let mut preds = [Shared::null(); HEIGHT];
             let mut succs = [Shared::null(); HEIGHT];
             let mut pred = self.head.load(Ordering::Acquire, guard);
@@ -98,6 +99,7 @@ impl<T: Ord> LockFreeSkipList<T> {
                     .load(Ordering::Acquire, guard)
                     .with_tag(0);
                 loop {
+                    cds_core::stress::yield_point();
                     let curr_ref = match unsafe { curr.as_ref() } {
                         None => break, // level exhausted
                         Some(c) => c,
@@ -157,10 +159,12 @@ impl<T: Ord> LockFreeSkipList<T> {
             .load(Ordering::Acquire, &guard)
             .with_tag(0);
         loop {
+            cds_core::stress::yield_point();
             let curr_ref = unsafe { curr.as_ref() }?;
             // Mark upper levels top-down.
             for l in (1..=curr_ref.top_level()).rev() {
                 loop {
+                    cds_core::stress::yield_point();
                     let next = curr_ref.next[l].load(Ordering::Acquire, &guard);
                     if next.tag() == MARK {
                         break;
@@ -279,12 +283,14 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
         });
         // Link at level 0 first (the linearization point).
         let node_shared = loop {
+            cds_core::stress::yield_point();
             let key = node.key.finite().expect("finite by construction");
             let (found, preds, succs) = self.find(key, &guard);
             if found {
                 drop(node);
                 return false;
             }
+            #[allow(clippy::needless_range_loop)] // lockstep over next/succs
             for l in 0..=top {
                 node.next[l].store(succs[l], Ordering::Relaxed);
             }
@@ -313,6 +319,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
         let (_, mut preds, mut succs) = self.find(key_ref, &guard);
         'levels: for l in 1..=top {
             loop {
+                cds_core::stress::yield_point();
                 let cur_next = node_ref.next[l].load(Ordering::Acquire, &guard);
                 if cur_next.tag() == MARK {
                     // Concurrently deleted; the deleter owns cleanup.
@@ -377,6 +384,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
         // Mark upper levels top-down.
         for l in (1..=victim_ref.top_level()).rev() {
             loop {
+                cds_core::stress::yield_point();
                 let next = victim_ref.next[l].load(Ordering::Acquire, &guard);
                 if next.tag() == MARK {
                     break;
@@ -398,6 +406,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
         // Bottom level decides the winner.
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let next = victim_ref.next[0].load(Ordering::Acquire, &guard);
             if next.tag() == MARK {
                 return false; // another remover won
@@ -430,6 +439,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
                 .load(Ordering::Acquire, &guard)
                 .with_tag(0);
             loop {
+                cds_core::stress::yield_point();
                 let curr_ref = match unsafe { curr.as_ref() } {
                     None => break,
                     Some(c) => c,

@@ -115,6 +115,7 @@ impl<T: Ord> SeqSkipList<T> {
             key,
             forwards: vec![ptr::null_mut(); top + 1],
         }));
+        #[allow(clippy::needless_range_loop)] // lockstep over preds/levels
         for l in 0..=top {
             let succ = self.forward_of(preds[l], l);
             // SAFETY: node is fresh and unaliased.
@@ -135,6 +136,7 @@ impl<T: Ord> SeqSkipList<T> {
         }
         // SAFETY: victim is live; unlink it at every level it occupies.
         let top = unsafe { (*victim).forwards.len() - 1 };
+        #[allow(clippy::needless_range_loop)] // lockstep over preds/levels
         for l in 0..=top {
             if self.forward_of(preds[l], l) == victim {
                 let succ = unsafe { (&(*victim).forwards)[l] };

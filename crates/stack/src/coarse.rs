@@ -36,6 +36,11 @@ impl<T> CoarseStack<T> {
     pub fn len(&self) -> usize {
         self.items.lock().len()
     }
+
+    /// Whether the stack is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Default for CoarseStack<T> {

@@ -248,6 +248,7 @@ impl<T: Send + 'static> ConcurrentStack<T> for EliminationBackoffStack<T> {
     fn push(&self, value: T) {
         let mut value = value;
         loop {
+            cds_core::stress::yield_point();
             match self.stack.try_push(value) {
                 Ok(()) => return,
                 Err(v) => value = v,
@@ -262,6 +263,7 @@ impl<T: Send + 'static> ConcurrentStack<T> for EliminationBackoffStack<T> {
 
     fn pop(&self) -> Option<T> {
         loop {
+            cds_core::stress::yield_point();
             if let Ok(result) = self.stack.try_pop() {
                 return result;
             }

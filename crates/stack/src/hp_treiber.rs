@@ -76,6 +76,7 @@ impl<T: Send + 'static> ConcurrentStack<T> for HpTreiberStack<T> {
         }));
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let head = self.head.load(Ordering::Relaxed);
             // SAFETY: `node` is unpublished until the CAS succeeds.
             unsafe { (*node).next = head };
@@ -94,6 +95,7 @@ impl<T: Send + 'static> ConcurrentStack<T> for HpTreiberStack<T> {
         let mut hp = HazardPointer::new(&self.domain);
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let head = hp.protect(&self.head);
             if head.is_null() {
                 return None;

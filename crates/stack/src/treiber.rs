@@ -60,6 +60,7 @@ impl<T> TreiberStack<T> {
     fn push_node(&self, node: Shared<'_, Node<T>>, guard: &Guard) {
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let head = self.head.load(Ordering::Relaxed, guard);
             // SAFETY: `node` is ours until the CAS below publishes it.
             unsafe { node.deref() }.next.store(head, Ordering::Relaxed);
@@ -132,6 +133,7 @@ impl<T> TreiberStack<T> {
     fn pop_node(&self, guard: &Guard) -> Option<T> {
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let head = self.head.load(Ordering::Acquire, guard);
             // SAFETY: the guard pins the epoch, so `head` cannot have been
             // freed; it was allocated by `push`.

@@ -87,6 +87,7 @@ fn thread_index() -> usize {
 pub struct FlatCombining<S: FcStructure> {
     data: UnsafeCell<S>,
     combiner: AtomicBool,
+    #[allow(clippy::type_complexity)]
     slots: Box<[CachePadded<Slot<S::Op, S::Res>>]>,
     /// Claim flags so threads hashing to the same slot take turns.
     claims: Box<[CachePadded<AtomicBool>]>,

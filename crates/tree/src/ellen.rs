@@ -135,6 +135,7 @@ impl<T: Ord + Clone> LockFreeBst<T> {
         let mut pupdate = Shared::null();
         let mut l = self.root.load(Ordering::Acquire, guard);
         loop {
+            cds_core::stress::yield_point();
             // SAFETY: pinned; nodes are epoch-managed.
             let l_ref = unsafe { l.deref() };
             let Some(int) = &l_ref.inner else { break };
@@ -342,6 +343,7 @@ impl<T: Ord + Clone + Send + Sync> ConcurrentSet<T> for LockFreeBst<T> {
         let backoff = Backoff::new();
         let mut value_slot = Some(value);
         loop {
+            cds_core::stress::yield_point();
             let key = value_slot.as_ref().expect("present until success");
             let s = self.search(key, &guard);
             // SAFETY: pinned.
@@ -430,6 +432,7 @@ impl<T: Ord + Clone + Send + Sync> ConcurrentSet<T> for LockFreeBst<T> {
         let guard = epoch::pin();
         let backoff = Backoff::new();
         loop {
+            cds_core::stress::yield_point();
             let s = self.search(value, &guard);
             // SAFETY: pinned.
             if unsafe { s.l.deref() }.key.cmp_key(value) != CmpOrdering::Equal {

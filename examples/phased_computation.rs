@@ -23,7 +23,9 @@ fn main() {
     let n = THREADS * CELLS_PER_THREAD;
     // Double buffering: read from one generation, write the other.
     let buffers: Arc<[Vec<AtomicU64>; 2]> = Arc::new([
-        (0..n).map(|i| AtomicU64::new((i % 17) as u64 * 100)).collect(),
+        (0..n)
+            .map(|i| AtomicU64::new((i % 17) as u64 * 100))
+            .collect(),
         (0..n).map(|_| AtomicU64::new(0)).collect(),
     ]);
     let barrier = Arc::new(SenseBarrier::new(THREADS));
@@ -59,12 +61,24 @@ fn main() {
 
     let final_gen = &buffers[ROUNDS % 2];
     let sum: u64 = final_gen.iter().map(|c| c.load(Ordering::Relaxed)).sum();
-    let min = final_gen.iter().map(|c| c.load(Ordering::Relaxed)).min().unwrap();
-    let max = final_gen.iter().map(|c| c.load(Ordering::Relaxed)).max().unwrap();
+    let min = final_gen
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .min()
+        .unwrap();
+    let max = final_gen
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .max()
+        .unwrap();
+    println!("{ROUNDS} rounds × {n} cells across {THREADS} threads in {elapsed:?}");
     println!(
-        "{ROUNDS} rounds × {n} cells across {THREADS} threads in {elapsed:?}"
+        "smoothed field: min {min}, max {max}, mean {:.1}",
+        sum as f64 / n as f64
     );
-    println!("smoothed field: min {min}, max {max}, mean {:.1}", sum as f64 / n as f64);
-    assert!(max - min <= 1600, "smoothing failed to converge: {min}..{max}");
+    assert!(
+        max - min <= 1600,
+        "smoothing failed to converge: {min}..{max}"
+    );
     println!("converged (spread {} after {ROUNDS} rounds)", max - min);
 }

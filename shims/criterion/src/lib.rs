@@ -1,0 +1,241 @@
+//! In-tree stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace replaces `criterion` with this shim. It keeps the macro and
+//! builder surface the benches use (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`) and implements a
+//! deliberately simple runner: warm up for the configured time, then
+//! measure for the configured time, and print `ns/iter` per benchmark.
+//! No statistics, plots, or history — the goal is that `cargo bench`
+//! compiles and produces usable raw numbers offline.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement strategies (API parity with real criterion, where
+/// `BenchmarkGroup` is generic over one; the shim only ever wall-clocks).
+pub mod measurement {
+    /// Wall-clock time measurement (the real crate's default).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Top-level benchmark driver (configuration holder).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Disables plot generation (a no-op here; kept for API parity).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _parent: std::marker::PhantomData,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named benchmark id with an optional parameter, printed as
+/// `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+///
+/// Generic over a measurement type for signature parity with the real
+/// crate (so helpers can be written as
+/// `fn bench(g: &mut BenchmarkGroup<'_, measurement::WallTime>)`); the
+/// shim ignores it and always wall-clocks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples (kept for API parity; the shim divides
+    /// the measurement window evenly regardless).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut b, input);
+        if let Some((iters, elapsed)) = b.report {
+            let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            println!("{}/{:<40} time: {:>12.1} ns/iter", self.name, id.id, ns);
+        }
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId { id: id.into() };
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `f`: warm up, then run repeatedly for the measurement
+    /// window, recording total iterations and elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            black_box(f());
+            iters += 1;
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+/// Declares a benchmark group; both the struct-like and list forms of the
+/// real macro are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, &x| {
+            b.iter(|| x + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("macro");
+        g.measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        g.bench_function("id", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group!(demo_group, target);
+
+    #[test]
+    fn group_macro_produces_runnable_fn() {
+        demo_group();
+    }
+}

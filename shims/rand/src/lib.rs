@@ -1,0 +1,143 @@
+//! In-tree stand-in for the [`rand`] crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace replaces `rand` with this shim. It implements exactly the
+//! surface the workspace uses — [`RngCore`], [`SeedableRng`], [`Rng`] with
+//! `gen_range`, and [`rngs::SmallRng`] — backed by SplitMix64 (Steele et
+//! al., *Fast splittable pseudorandom number generators*, OOPSLA 2014),
+//! which passes BigCrush at 64 bits of state and is plenty for tower
+//! heights and test shuffles.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+use std::ops::Range;
+
+/// Core pseudo-random generation: uniform 32/64-bit draws.
+pub trait RngCore {
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of generators from seeds or OS entropy.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Builds a generator from ambient entropy (time + ASLR).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let marker = 0u8;
+        // Per-thread stack address mixes in ASLR and thread identity.
+        Self::seed_from_u64(t ^ ((&marker as *const u8 as u64).rotate_left(32)))
+    }
+}
+
+/// Ranged sampling on top of [`RngCore`] (auto-implemented).
+pub trait Rng: RngCore {
+    /// Draws a uniform value from `range` (half-open; must be non-empty).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(&mut |n| self.next_u64() % n)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Range types [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws from the range; `draw(n)` returns a uniform value in `0..n`.
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + draw(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast non-cryptographic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        let v = r.gen_range(-5i64..5);
+        assert!((-5..5).contains(&v));
+    }
+
+    #[test]
+    fn low_bits_vary() {
+        // trailing_zeros of next_u64 drives skiplist tower heights; make
+        // sure the stream isn't degenerate in the low bits.
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut zeros = 0;
+        for _ in 0..1000 {
+            if r.next_u64() & 1 == 0 {
+                zeros += 1;
+            }
+        }
+        assert!((300..700).contains(&zeros));
+    }
+}

@@ -1,16 +1,17 @@
 //! Property-based tests of the reclamation substrates themselves.
 //!
 //! These drive `cds-reclaim` through randomized single-threaded schedules
-//! where the expected reclamation behaviour can be computed exactly:
-//! protected nodes must survive scans, unprotected retirees must be freed,
-//! and epoch pins must hold back collection until released.
+//! (seeded by `cds_lincheck::prop`) where the expected reclamation
+//! behaviour can be computed exactly: protected nodes must survive scans,
+//! unprotected retirees must be freed, and epoch pins must hold back
+//! collection until released.
 
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use cds_lincheck::prop::{forall_vec, Config, Prng};
 use cds_reclaim::epoch::{Collector, Owned};
 use cds_reclaim::hazard::{Domain, HazardPointer};
-use proptest::prelude::*;
 
 #[derive(Debug)]
 struct Counted(Arc<AtomicUsize>);
@@ -21,14 +22,13 @@ impl Drop for Counted {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any interleaving of protect / retire / scan on one slot: the node
-    /// currently protected is never freed; everything retired while
-    /// unprotected is freed by the next scan.
-    #[test]
-    fn hazard_protection_is_respected(script in proptest::collection::vec(0u8..3, 1..60)) {
+/// Any interleaving of protect / retire / scan on one slot: the node
+/// currently protected is never freed; everything retired while
+/// unprotected is freed by the next scan.
+#[test]
+fn hazard_protection_is_respected() {
+    let gen = |rng: &mut Prng| rng.below(3) as u8;
+    forall_vec(&Config::new(48, 60), gen, |script: &[u8]| {
         let domain = Domain::new();
         let drops = Arc::new(AtomicUsize::new(0));
         let mut created = 0usize;
@@ -67,7 +67,7 @@ proptest! {
                     domain.scan();
                     // Everything retired while unprotected must be gone by
                     // now; the protected node (if retired) must not be.
-                    prop_assert!(
+                    assert!(
                         drops.load(Ordering::SeqCst) >= retired_unprotected,
                         "scan failed to free unprotected retirees"
                     );
@@ -81,17 +81,20 @@ proptest! {
         unsafe { drop(Box::from_raw(last)) };
         drop(hp);
         drop(domain);
-        prop_assert_eq!(
+        assert_eq!(
             drops.load(Ordering::SeqCst),
             created,
             "domain drop must reclaim everything exactly once"
         );
-    }
+    });
+}
 
-    /// Epoch collector: a pinned guard holds back reclamation of items
-    /// deferred after it pinned; unpinning and collecting frees them all.
-    #[test]
-    fn epoch_pins_hold_back_collection(batch in 1usize..40) {
+/// Epoch collector: a pinned guard holds back reclamation of items
+/// deferred after it pinned; unpinning and collecting frees them all.
+/// Exhaustive over batch sizes rather than sampled.
+#[test]
+fn epoch_pins_hold_back_collection() {
+    for batch in 1usize..40 {
         let collector = Collector::new();
         let h1 = collector.register();
         let h2 = collector.register();
@@ -110,7 +113,7 @@ proptest! {
         for _ in 0..8 {
             collector.collect();
         }
-        prop_assert_eq!(
+        assert_eq!(
             drops.load(Ordering::SeqCst),
             0,
             "items freed while a guard from before the defer was still pinned"
@@ -120,6 +123,6 @@ proptest! {
         for _ in 0..4 {
             collector.collect();
         }
-        prop_assert_eq!(drops.load(Ordering::SeqCst), batch);
+        assert_eq!(drops.load(Ordering::SeqCst), batch);
     }
 }

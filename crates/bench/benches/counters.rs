@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::counter_throughput;
+use cds_bench::{counter_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -13,28 +13,57 @@ fn bench(c: &mut Criterion) {
     const OPS: usize = 20_000;
     for threads in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::new("lock", threads), &threads, |b, &t| {
-            b.iter(|| counter_throughput(Arc::new(cds_counter::LockCounter::new()), t, OPS / t))
+            b.iter(|| {
+                counter_run(
+                    Arc::new(cds_counter::LockCounter::new()),
+                    Workload::ops_only(t, OPS / t),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(BenchmarkId::new("atomic", threads), &threads, |b, &t| {
-            b.iter(|| counter_throughput(Arc::new(cds_counter::AtomicCounter::new()), t, OPS / t))
+            b.iter(|| {
+                counter_run(
+                    Arc::new(cds_counter::AtomicCounter::new()),
+                    Workload::ops_only(t, OPS / t),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(BenchmarkId::new("sharded", threads), &threads, |b, &t| {
-            b.iter(|| counter_throughput(Arc::new(cds_counter::ShardedCounter::new()), t, OPS / t))
+            b.iter(|| {
+                counter_run(
+                    Arc::new(cds_counter::ShardedCounter::new()),
+                    Workload::ops_only(t, OPS / t),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(BenchmarkId::new("combining", threads), &threads, |b, &t| {
             b.iter(|| {
-                counter_throughput(
+                counter_run(
                     Arc::new(cds_counter::CombiningTreeCounter::new()),
-                    t,
-                    OPS / t,
+                    Workload::ops_only(t, OPS / t),
+                    Warmup::none(),
                 )
+                .mops
             })
         });
         g.bench_with_input(
             BenchmarkId::new("flat_combining", threads),
             &threads,
             |b, &t| {
-                b.iter(|| counter_throughput(Arc::new(cds_counter::FcCounter::new()), t, OPS / t))
+                b.iter(|| {
+                    counter_run(
+                        Arc::new(cds_counter::FcCounter::new()),
+                        Workload::ops_only(t, OPS / t),
+                        Warmup::none(),
+                    )
+                    .mops
+                })
             },
         );
     }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::{set_throughput, Workload};
+use cds_bench::{set_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -24,27 +24,48 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new("coarse", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::CoarseList::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        set_run(Arc::new(cds_list::CoarseList::new()), w, Warmup::none()).mops
+                    })
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("fine", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::FineList::new()), w)),
+                |b, &w| {
+                    b.iter(|| set_run(Arc::new(cds_list::FineList::new()), w, Warmup::none()).mops)
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("optimistic", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::OptimisticList::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        set_run(Arc::new(cds_list::OptimisticList::new()), w, Warmup::none()).mops
+                    })
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("lazy", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::LazyList::new()), w)),
+                |b, &w| {
+                    b.iter(|| set_run(Arc::new(cds_list::LazyList::new()), w, Warmup::none()).mops)
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("harris_michael", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_list::HarrisMichaelList::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        set_run(
+                            Arc::new(cds_list::HarrisMichaelList::new()),
+                            w,
+                            Warmup::none(),
+                        )
+                        .mops
+                    })
+                },
             );
         }
     }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::lock_throughput;
+use cds_bench::{lock_run, Warmup};
 use cds_sync::{ClhLock, Lock, McsLock, RawLock, TasLock, TicketLock, TtasLock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -14,9 +14,10 @@ fn bench_raw<L: RawLock + 'static>(
     g.bench_with_input(BenchmarkId::new(L::NAME, threads), &threads, |b, &t| {
         b.iter(|| {
             let lock = Arc::new(Lock::<L, u64>::new(0));
-            lock_throughput(t, ops / t, move || {
+            lock_run(t, ops / t, Warmup::none(), move || {
                 *lock.lock() += 1;
             })
+            .mops
         })
     });
 }
@@ -36,9 +37,10 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("std_mutex", threads), &threads, |b, &t| {
             b.iter(|| {
                 let lock = Arc::new(std::sync::Mutex::new(0u64));
-                lock_throughput(t, OPS / t, move || {
+                lock_run(t, OPS / t, Warmup::none(), move || {
                     *lock.lock().unwrap() += 1;
                 })
+                .mops
             })
         });
     }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::{map_throughput, Workload};
+use cds_bench::{map_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -24,17 +24,32 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new("coarse", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| map_throughput(Arc::new(cds_map::CoarseMap::new()), w)),
+                |b, &w| {
+                    b.iter(|| map_run(Arc::new(cds_map::CoarseMap::new()), w, Warmup::none()).mops)
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("striped", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| map_throughput(Arc::new(cds_map::StripedHashMap::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        map_run(Arc::new(cds_map::StripedHashMap::new()), w, Warmup::none()).mops
+                    })
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("split_ordered", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| map_throughput(Arc::new(cds_map::SplitOrderedHashMap::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        map_run(
+                            Arc::new(cds_map::SplitOrderedHashMap::new()),
+                            w,
+                            Warmup::none(),
+                        )
+                        .mops
+                    })
+                },
             );
         }
     }

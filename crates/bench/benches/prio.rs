@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::pq_throughput;
+use cds_bench::{pq_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -16,11 +16,25 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("coarse_heap", threads),
             &threads,
             |b, &t| {
-                b.iter(|| pq_throughput(Arc::new(cds_prio::CoarseBinaryHeap::new()), t, OPS / t))
+                b.iter(|| {
+                    pq_run(
+                        Arc::new(cds_prio::CoarseBinaryHeap::new()),
+                        Workload::pq_default(t, OPS / t),
+                        Warmup::none(),
+                    )
+                    .mops
+                })
             },
         );
         g.bench_with_input(BenchmarkId::new("skiplist", threads), &threads, |b, &t| {
-            b.iter(|| pq_throughput(Arc::new(cds_prio::SkipListPriorityQueue::new()), t, OPS / t))
+            b.iter(|| {
+                pq_run(
+                    Arc::new(cds_prio::SkipListPriorityQueue::new()),
+                    Workload::pq_default(t, OPS / t),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
     }
     g.finish();

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::queue_throughput;
+use cds_bench::{queue_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -13,28 +13,61 @@ fn bench(c: &mut Criterion) {
     const OPS: usize = 20_000;
     for threads in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::new("coarse", threads), &threads, |b, &t| {
-            b.iter(|| queue_throughput(Arc::new(cds_queue::CoarseQueue::new()), t, OPS / t))
+            b.iter(|| {
+                queue_run(
+                    Arc::new(cds_queue::CoarseQueue::new()),
+                    Workload::fifty_fifty(t, OPS / t, 1024),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(
             BenchmarkId::new("flat_combining", threads),
             &threads,
-            |b, &t| b.iter(|| queue_throughput(Arc::new(cds_queue::FcQueue::new()), t, OPS / t)),
+            |b, &t| {
+                b.iter(|| {
+                    queue_run(
+                        Arc::new(cds_queue::FcQueue::new()),
+                        Workload::fifty_fifty(t, OPS / t, 1024),
+                        Warmup::none(),
+                    )
+                    .mops
+                })
+            },
         );
         g.bench_with_input(BenchmarkId::new("two_lock", threads), &threads, |b, &t| {
-            b.iter(|| queue_throughput(Arc::new(cds_queue::TwoLockQueue::new()), t, OPS / t))
+            b.iter(|| {
+                queue_run(
+                    Arc::new(cds_queue::TwoLockQueue::new()),
+                    Workload::fifty_fifty(t, OPS / t, 1024),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(
             BenchmarkId::new("michael_scott", threads),
             &threads,
-            |b, &t| b.iter(|| queue_throughput(Arc::new(cds_queue::MsQueue::new()), t, OPS / t)),
+            |b, &t| {
+                b.iter(|| {
+                    queue_run(
+                        Arc::new(cds_queue::MsQueue::new()),
+                        Workload::fifty_fifty(t, OPS / t, 1024),
+                        Warmup::none(),
+                    )
+                    .mops
+                })
+            },
         );
         g.bench_with_input(BenchmarkId::new("bounded", threads), &threads, |b, &t| {
             b.iter(|| {
-                queue_throughput(
+                queue_run(
                     Arc::new(cds_queue::BoundedQueue::with_capacity(1 << 15)),
-                    t,
-                    OPS / t,
+                    Workload::fifty_fifty(t, OPS / t, 1024),
+                    Warmup::none(),
                 )
+                .mops
             })
         });
     }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::{stack_throughput, LeakyTreiberStack};
+use cds_bench::{stack_run, LeakyTreiberStack, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -14,13 +14,34 @@ fn bench(c: &mut Criterion) {
     const OPS: usize = 20_000;
     for threads in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::new("epoch", threads), &threads, |b, &t| {
-            b.iter(|| stack_throughput(Arc::new(cds_stack::TreiberStack::new()), t, OPS / t))
+            b.iter(|| {
+                stack_run(
+                    Arc::new(cds_stack::TreiberStack::new()),
+                    Workload::fifty_fifty(t, OPS / t, 1024),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(BenchmarkId::new("hazard", threads), &threads, |b, &t| {
-            b.iter(|| stack_throughput(Arc::new(cds_stack::HpTreiberStack::new()), t, OPS / t))
+            b.iter(|| {
+                stack_run(
+                    Arc::new(cds_stack::HpTreiberStack::new()),
+                    Workload::fifty_fifty(t, OPS / t, 1024),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(BenchmarkId::new("leak", threads), &threads, |b, &t| {
-            b.iter(|| stack_throughput(Arc::new(LeakyTreiberStack::new()), t, OPS / t))
+            b.iter(|| {
+                stack_run(
+                    Arc::new(LeakyTreiberStack::new()),
+                    Workload::fifty_fifty(t, OPS / t, 1024),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
     }
     g.finish();

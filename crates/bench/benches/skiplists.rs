@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::{set_throughput, Workload};
+use cds_bench::{set_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -24,18 +24,43 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new("coarse", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_skiplist::CoarseSkipList::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        set_run(
+                            Arc::new(cds_skiplist::CoarseSkipList::new()),
+                            w,
+                            Warmup::none(),
+                        )
+                        .mops
+                    })
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("lazy", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_skiplist::LazySkipList::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        set_run(
+                            Arc::new(cds_skiplist::LazySkipList::new()),
+                            w,
+                            Warmup::none(),
+                        )
+                        .mops
+                    })
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("lock_free", format!("{threads}thr_{read_pct}r")),
                 &w,
                 |b, &w| {
-                    b.iter(|| set_throughput(Arc::new(cds_skiplist::LockFreeSkipList::new()), w))
+                    b.iter(|| {
+                        set_run(
+                            Arc::new(cds_skiplist::LockFreeSkipList::new()),
+                            w,
+                            Warmup::none(),
+                        )
+                        .mops
+                    })
                 },
             );
         }

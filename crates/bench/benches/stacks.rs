@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::stack_throughput;
+use cds_bench::{stack_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -14,25 +14,55 @@ fn bench(c: &mut Criterion) {
     const OPS: usize = 20_000;
     for threads in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::new("coarse", threads), &threads, |b, &t| {
-            b.iter(|| stack_throughput(Arc::new(cds_stack::CoarseStack::new()), t, OPS / t))
+            b.iter(|| {
+                stack_run(
+                    Arc::new(cds_stack::CoarseStack::new()),
+                    Workload::fifty_fifty(t, OPS / t, 1024),
+                    Warmup::none(),
+                )
+                .mops
+            })
         });
         g.bench_with_input(
             BenchmarkId::new("flat_combining", threads),
             &threads,
-            |b, &t| b.iter(|| stack_throughput(Arc::new(cds_stack::FcStack::new()), t, OPS / t)),
+            |b, &t| {
+                b.iter(|| {
+                    stack_run(
+                        Arc::new(cds_stack::FcStack::new()),
+                        Workload::fifty_fifty(t, OPS / t, 1024),
+                        Warmup::none(),
+                    )
+                    .mops
+                })
+            },
         );
         g.bench_with_input(
             BenchmarkId::new("treiber_ebr", threads),
             &threads,
             |b, &t| {
-                b.iter(|| stack_throughput(Arc::new(cds_stack::TreiberStack::new()), t, OPS / t))
+                b.iter(|| {
+                    stack_run(
+                        Arc::new(cds_stack::TreiberStack::new()),
+                        Workload::fifty_fifty(t, OPS / t, 1024),
+                        Warmup::none(),
+                    )
+                    .mops
+                })
             },
         );
         g.bench_with_input(
             BenchmarkId::new("treiber_hp", threads),
             &threads,
             |b, &t| {
-                b.iter(|| stack_throughput(Arc::new(cds_stack::HpTreiberStack::new()), t, OPS / t))
+                b.iter(|| {
+                    stack_run(
+                        Arc::new(cds_stack::HpTreiberStack::new()),
+                        Workload::fifty_fifty(t, OPS / t, 1024),
+                        Warmup::none(),
+                    )
+                    .mops
+                })
             },
         );
         g.bench_with_input(
@@ -40,11 +70,12 @@ fn bench(c: &mut Criterion) {
             &threads,
             |b, &t| {
                 b.iter(|| {
-                    stack_throughput(
+                    stack_run(
                         Arc::new(cds_stack::EliminationBackoffStack::new()),
-                        t,
-                        OPS / t,
+                        Workload::fifty_fifty(t, OPS / t, 1024),
+                        Warmup::none(),
                     )
+                    .mops
                 })
             },
         );
@@ -53,11 +84,12 @@ fn bench(c: &mut Criterion) {
             &threads,
             |b, &t| {
                 b.iter(|| {
-                    stack_throughput(
+                    stack_run(
                         Arc::new(cds_stack::EliminationBackoffStack::with_params(1, 16)),
-                        t,
-                        OPS / t,
+                        Workload::fifty_fifty(t, OPS / t, 1024),
+                        Warmup::none(),
                     )
+                    .mops
                 })
             },
         );

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use cds_bench::{set_throughput, Workload};
+use cds_bench::{set_run, Warmup, Workload};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -24,17 +24,25 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new("coarse", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_tree::CoarseBst::new()), w)),
+                |b, &w| {
+                    b.iter(|| set_run(Arc::new(cds_tree::CoarseBst::new()), w, Warmup::none()).mops)
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("fine", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_tree::FineBst::new()), w)),
+                |b, &w| {
+                    b.iter(|| set_run(Arc::new(cds_tree::FineBst::new()), w, Warmup::none()).mops)
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new("ellen", format!("{threads}thr_{read_pct}r")),
                 &w,
-                |b, &w| b.iter(|| set_throughput(Arc::new(cds_tree::LockFreeBst::new()), w)),
+                |b, &w| {
+                    b.iter(|| {
+                        set_run(Arc::new(cds_tree::LockFreeBst::new()), w, Warmup::none()).mops
+                    })
+                },
             );
         }
     }

@@ -1,22 +1,31 @@
-//! Regenerates the evaluation tables (experiments E1–E10 of DESIGN.md).
+//! Regenerates the evaluation tables (experiments E1–E10 of DESIGN.md) and
+//! emits the machine-readable measurement file.
 //!
 //! ```text
 //! cargo run -p cds-bench --release --bin experiments -- all
 //! cargo run -p cds-bench --release --bin experiments -- e4 e5
-//! cargo run -p cds-bench --release --bin experiments -- --quick all
+//! cargo run -p cds-bench --release --bin experiments -- all --quick --json BENCH_experiments.json
+//! cargo run -p cds-bench --release --bin experiments -- check BENCH_experiments.json
 //! ```
 //!
 //! Output: one Markdown table per experiment, rows = implementations,
 //! columns = thread counts (for ratio sweeps, one table per read ratio).
-//! Numbers are million operations per second (higher is better).
+//! Numbers are million operations per second (higher is better). With
+//! `--json <path>`, every measured cell is also recorded as a
+//! [`Sample`](cds_bench::Sample) — throughput plus p50/p90/p99/p99.9
+//! sampled latency — and written as a schema-versioned JSON document
+//! (see `cds_bench::report` for the schema). `check <path>` validates an
+//! existing document and exits non-zero on schema violations or missing
+//! experiments; CI runs it after the smoke run.
 
 use std::sync::Arc;
 
+use cds_bench::json::Json;
 use cds_bench::{
-    counter_throughput, lock_throughput, map_throughput, pq_throughput, queue_throughput,
-    set_throughput, stack_throughput, LeakyTreiberStack, Workload,
+    counter_run, lock_run, map_run, pq_run, queue_run, report, set_run, stack_run,
+    LeakyTreiberStack, Report, RunStats, Sample, Warmup, Workload,
 };
-use cds_core::ConcurrentStack;
+use cds_core::{ConcurrentMap, ConcurrentSet, ConcurrentStack};
 use cds_sync::RawLock;
 
 const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
@@ -24,6 +33,22 @@ const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
 struct Scale {
     ops: usize,
     list_ops: usize,
+}
+
+/// Shared run state: workload scale, warmup policy, and the sample sink.
+struct Ctx {
+    scale: Scale,
+    warm: Warmup,
+    report: Report,
+}
+
+impl Ctx {
+    /// Records one measured cell into the report and returns its Mops/s.
+    fn record(&mut self, experiment: &str, impl_name: &str, w: &Workload, stats: &RunStats) -> f64 {
+        self.report
+            .push(Sample::from_stats(experiment, impl_name, w, stats));
+        stats.mops
+    }
 }
 
 fn header(title: &str) {
@@ -48,13 +73,17 @@ fn row(name: &str, cells: &[f64]) {
     println!();
 }
 
-fn e1_counters(s: &Scale) {
+fn e1_counters(ctx: &mut Ctx) {
     header("E1 — counter throughput (increment-only, Mops/s)");
     macro_rules! bench {
         ($name:expr, $ctor:expr) => {{
             let cells: Vec<f64> = THREAD_SWEEP
                 .iter()
-                .map(|&t| counter_throughput(Arc::new($ctor), t, s.ops / t))
+                .map(|&t| {
+                    let w = Workload::ops_only(t, ctx.scale.ops / t);
+                    let stats = counter_run(Arc::new($ctor), w, ctx.warm);
+                    ctx.record("e1", $name, &w, &stats)
+                })
                 .collect();
             row($name, &cells);
         }};
@@ -66,13 +95,17 @@ fn e1_counters(s: &Scale) {
     bench!("flat-combining", cds_counter::FcCounter::new());
 }
 
-fn e2_stacks(s: &Scale) {
+fn e2_stacks(ctx: &mut Ctx) {
     header("E2 — stack throughput (50/50 push/pop, Mops/s)");
     macro_rules! bench {
         ($name:expr, $ctor:expr) => {{
             let cells: Vec<f64> = THREAD_SWEEP
                 .iter()
-                .map(|&t| stack_throughput(Arc::new($ctor), t, s.ops / t))
+                .map(|&t| {
+                    let w = Workload::fifty_fifty(t, ctx.scale.ops / t, 1024);
+                    let stats = stack_run(Arc::new($ctor), w, ctx.warm);
+                    ctx.record("e2", $name, &w, &stats)
+                })
                 .collect();
             row($name, &cells);
         }};
@@ -93,13 +126,17 @@ fn e2_stacks(s: &Scale) {
     );
 }
 
-fn e3_queues(s: &Scale) {
+fn e3_queues(ctx: &mut Ctx) {
     header("E3 — queue throughput (50/50 enq/deq, Mops/s)");
     macro_rules! bench {
         ($name:expr, $ctor:expr) => {{
             let cells: Vec<f64> = THREAD_SWEEP
                 .iter()
-                .map(|&t| queue_throughput(Arc::new($ctor), t, s.ops / t))
+                .map(|&t| {
+                    let w = Workload::fifty_fifty(t, ctx.scale.ops / t, 1024);
+                    let stats = queue_run(Arc::new($ctor), w, ctx.warm);
+                    ctx.record("e3", $name, &w, &stats)
+                })
                 .collect();
             row($name, &cells);
         }};
@@ -114,9 +151,45 @@ fn e3_queues(s: &Scale) {
     );
 }
 
-fn ratio_sweep_sets<F>(title: &str, ops: usize, key_range: u64, mut make_rows: F)
+/// One measured set cell: runs, records, returns the table entry.
+fn run_set<S>(
+    ctx: &mut Ctx,
+    experiment: &str,
+    name: &str,
+    set: Arc<S>,
+    w: Workload,
+) -> (String, f64)
 where
-    F: FnMut(Workload) -> Vec<(String, f64)>,
+    S: ConcurrentSet<u64> + 'static,
+{
+    let stats = set_run(set, w, ctx.warm);
+    (name.to_string(), ctx.record(experiment, name, &w, &stats))
+}
+
+/// One measured map cell: runs, records, returns the table entry.
+fn run_map<M>(
+    ctx: &mut Ctx,
+    experiment: &str,
+    name: &str,
+    map: Arc<M>,
+    w: Workload,
+) -> (String, f64)
+where
+    M: ConcurrentMap<u64, u64> + 'static,
+{
+    let stats = map_run(map, w, ctx.warm);
+    (name.to_string(), ctx.record(experiment, name, &w, &stats))
+}
+
+fn ratio_sweep<F>(
+    ctx: &mut Ctx,
+    experiment: &str,
+    title: &str,
+    ops: usize,
+    key_range: u64,
+    mut make_rows: F,
+) where
+    F: FnMut(&mut Ctx, &str, Workload) -> Vec<(String, f64)>,
 {
     for &(read_pct, insert_pct, label) in &[
         (0u8, 50u8, "0% reads"),
@@ -135,7 +208,7 @@ where
                 insert_pct,
                 prefill: (key_range / 2) as usize,
             };
-            for (i, (name, mops)) in make_rows(w).into_iter().enumerate() {
+            for (i, (name, mops)) in make_rows(ctx, experiment, w).into_iter().enumerate() {
                 if table.len() <= i {
                     table.push((name, Vec::new()));
                 }
@@ -148,97 +221,151 @@ where
     }
 }
 
-fn e4_lists(s: &Scale) {
-    ratio_sweep_sets("E4 — list-based sets (Mops/s)", s.list_ops, 512, |w| {
-        vec![
-            (
-                "coarse".into(),
-                set_throughput(Arc::new(cds_list::CoarseList::new()), w),
-            ),
-            (
-                "fine (hand-over-hand)".into(),
-                set_throughput(Arc::new(cds_list::FineList::new()), w),
-            ),
-            (
-                "optimistic".into(),
-                set_throughput(Arc::new(cds_list::OptimisticList::new()), w),
-            ),
-            (
-                "lazy".into(),
-                set_throughput(Arc::new(cds_list::LazyList::new()), w),
-            ),
-            (
-                "harris-michael".into(),
-                set_throughput(Arc::new(cds_list::HarrisMichaelList::new()), w),
-            ),
-        ]
-    });
+fn e4_lists(ctx: &mut Ctx) {
+    let ops = ctx.scale.list_ops;
+    ratio_sweep(
+        ctx,
+        "e4",
+        "E4 — list-based sets (Mops/s)",
+        ops,
+        512,
+        |ctx, e, w| {
+            vec![
+                run_set(ctx, e, "coarse", Arc::new(cds_list::CoarseList::new()), w),
+                run_set(
+                    ctx,
+                    e,
+                    "fine (hand-over-hand)",
+                    Arc::new(cds_list::FineList::new()),
+                    w,
+                ),
+                run_set(
+                    ctx,
+                    e,
+                    "optimistic",
+                    Arc::new(cds_list::OptimisticList::new()),
+                    w,
+                ),
+                run_set(ctx, e, "lazy", Arc::new(cds_list::LazyList::new()), w),
+                run_set(
+                    ctx,
+                    e,
+                    "harris-michael",
+                    Arc::new(cds_list::HarrisMichaelList::new()),
+                    w,
+                ),
+            ]
+        },
+    );
 }
 
-fn e5_maps(s: &Scale) {
-    ratio_sweep_sets("E5 — hash maps (Mops/s)", s.ops, 65_536, |w| {
-        vec![
-            (
-                "coarse".into(),
-                map_throughput(Arc::new(cds_map::CoarseMap::new()), w),
-            ),
-            (
-                "striped".into(),
-                map_throughput(Arc::new(cds_map::StripedHashMap::new()), w),
-            ),
-            (
-                "split-ordered".into(),
-                map_throughput(Arc::new(cds_map::SplitOrderedHashMap::new()), w),
-            ),
-        ]
-    });
+fn e5_maps(ctx: &mut Ctx) {
+    let ops = ctx.scale.ops;
+    ratio_sweep(
+        ctx,
+        "e5",
+        "E5 — hash maps (Mops/s)",
+        ops,
+        65_536,
+        |ctx, e, w| {
+            vec![
+                run_map(ctx, e, "coarse", Arc::new(cds_map::CoarseMap::new()), w),
+                run_map(
+                    ctx,
+                    e,
+                    "striped",
+                    Arc::new(cds_map::StripedHashMap::new()),
+                    w,
+                ),
+                run_map(
+                    ctx,
+                    e,
+                    "split-ordered",
+                    Arc::new(cds_map::SplitOrderedHashMap::new()),
+                    w,
+                ),
+            ]
+        },
+    );
 }
 
-fn e6_skiplists(s: &Scale) {
-    ratio_sweep_sets("E6 — skiplist sets (Mops/s)", s.ops, 65_536, |w| {
-        vec![
-            (
-                "coarse".into(),
-                set_throughput(Arc::new(cds_skiplist::CoarseSkipList::new()), w),
-            ),
-            (
-                "lazy".into(),
-                set_throughput(Arc::new(cds_skiplist::LazySkipList::new()), w),
-            ),
-            (
-                "lock-free".into(),
-                set_throughput(Arc::new(cds_skiplist::LockFreeSkipList::new()), w),
-            ),
-        ]
-    });
+fn e6_skiplists(ctx: &mut Ctx) {
+    let ops = ctx.scale.ops;
+    ratio_sweep(
+        ctx,
+        "e6",
+        "E6 — skiplist sets (Mops/s)",
+        ops,
+        65_536,
+        |ctx, e, w| {
+            vec![
+                run_set(
+                    ctx,
+                    e,
+                    "coarse",
+                    Arc::new(cds_skiplist::CoarseSkipList::new()),
+                    w,
+                ),
+                run_set(
+                    ctx,
+                    e,
+                    "lazy",
+                    Arc::new(cds_skiplist::LazySkipList::new()),
+                    w,
+                ),
+                run_set(
+                    ctx,
+                    e,
+                    "lock-free",
+                    Arc::new(cds_skiplist::LockFreeSkipList::new()),
+                    w,
+                ),
+            ]
+        },
+    );
 }
 
-fn e7_trees(s: &Scale) {
-    ratio_sweep_sets("E7 — binary search trees (Mops/s)", s.ops, 65_536, |w| {
-        vec![
-            (
-                "coarse".into(),
-                set_throughput(Arc::new(cds_tree::CoarseBst::new()), w),
-            ),
-            (
-                "fine (external)".into(),
-                set_throughput(Arc::new(cds_tree::FineBst::new()), w),
-            ),
-            (
-                "ellen (lock-free)".into(),
-                set_throughput(Arc::new(cds_tree::LockFreeBst::new()), w),
-            ),
-        ]
-    });
+fn e7_trees(ctx: &mut Ctx) {
+    let ops = ctx.scale.ops;
+    ratio_sweep(
+        ctx,
+        "e7",
+        "E7 — binary search trees (Mops/s)",
+        ops,
+        65_536,
+        |ctx, e, w| {
+            vec![
+                run_set(ctx, e, "coarse", Arc::new(cds_tree::CoarseBst::new()), w),
+                run_set(
+                    ctx,
+                    e,
+                    "fine (external)",
+                    Arc::new(cds_tree::FineBst::new()),
+                    w,
+                ),
+                run_set(
+                    ctx,
+                    e,
+                    "ellen (lock-free)",
+                    Arc::new(cds_tree::LockFreeBst::new()),
+                    w,
+                ),
+            ]
+        },
+    );
 }
 
-fn e8_priority_queues(s: &Scale) {
+fn e8_priority_queues(ctx: &mut Ctx) {
     header("E8 — priority queues (50/50 insert/remove-min, Mops/s)");
     macro_rules! bench {
         ($name:expr, $ctor:expr) => {{
             let cells: Vec<f64> = THREAD_SWEEP
                 .iter()
-                .map(|&t| pq_throughput(Arc::new($ctor), t, s.ops / t))
+                .map(|&t| {
+                    let w = Workload::pq_default(t, ctx.scale.ops / t);
+                    let stats = pq_run(Arc::new($ctor), w, ctx.warm);
+                    ctx.record("e8", $name, &w, &stats)
+                })
                 .collect();
             row($name, &cells);
         }};
@@ -250,34 +377,40 @@ fn e8_priority_queues(s: &Scale) {
     );
 }
 
-fn e9_locks(s: &Scale) {
+fn e9_locks(ctx: &mut Ctx) {
     header("E9 — lock acquisition under contention (M acquisitions/s)");
 
-    fn bench_raw<L: RawLock + 'static>(ops: usize) -> Vec<f64> {
-        THREAD_SWEEP
+    fn bench_raw<L: RawLock + 'static>(ctx: &mut Ctx, name: &str) {
+        let ops = ctx.scale.ops;
+        let cells: Vec<f64> = THREAD_SWEEP
             .iter()
             .map(|&t| {
+                let w = Workload::ops_only(t, ops / t);
                 let lock = Arc::new(cds_sync::Lock::<L, u64>::new(0));
-                lock_throughput(t, ops / t, move || {
+                let stats = lock_run(t, ops / t, ctx.warm, move || {
                     *lock.lock() += 1;
-                })
+                });
+                ctx.record("e9", name, &w, &stats)
             })
-            .collect()
+            .collect();
+        row(name, &cells);
     }
 
-    row("tas", &bench_raw::<cds_sync::TasLock>(s.ops));
-    row("ttas+backoff", &bench_raw::<cds_sync::TtasLock>(s.ops));
-    row("ticket", &bench_raw::<cds_sync::TicketLock>(s.ops));
-    row("clh", &bench_raw::<cds_sync::ClhLock>(s.ops));
-    row("mcs", &bench_raw::<cds_sync::McsLock>(s.ops));
+    bench_raw::<cds_sync::TasLock>(ctx, "tas");
+    bench_raw::<cds_sync::TtasLock>(ctx, "ttas+backoff");
+    bench_raw::<cds_sync::TicketLock>(ctx, "ticket");
+    bench_raw::<cds_sync::ClhLock>(ctx, "clh");
+    bench_raw::<cds_sync::McsLock>(ctx, "mcs");
 
     let std_cells: Vec<f64> = THREAD_SWEEP
         .iter()
         .map(|&t| {
+            let w = Workload::ops_only(t, ctx.scale.ops / t);
             let lock = Arc::new(std::sync::Mutex::new(0u64));
-            lock_throughput(t, s.ops / t, move || {
+            let stats = lock_run(t, w.ops_per_thread, ctx.warm, move || {
                 *lock.lock().unwrap() += 1;
-            })
+            });
+            ctx.record("e9", "std::sync::Mutex", &w, &stats)
         })
         .collect();
     row("std::sync::Mutex", &std_cells);
@@ -285,22 +418,28 @@ fn e9_locks(s: &Scale) {
     let pl_cells: Vec<f64> = THREAD_SWEEP
         .iter()
         .map(|&t| {
+            let w = Workload::ops_only(t, ctx.scale.ops / t);
             let lock = Arc::new(parking_lot::Mutex::new(0u64));
-            lock_throughput(t, s.ops / t, move || {
+            let stats = lock_run(t, w.ops_per_thread, ctx.warm, move || {
                 *lock.lock() += 1;
-            })
+            });
+            ctx.record("e9", "parking_lot::Mutex", &w, &stats)
         })
         .collect();
     row("parking_lot::Mutex", &pl_cells);
 }
 
-fn e10_reclamation(s: &Scale) {
+fn e10_reclamation(ctx: &mut Ctx) {
     header("E10 — reclamation schemes on Treiber push/pop churn (Mops/s)");
     macro_rules! bench {
         ($name:expr, $ctor:expr) => {{
             let cells: Vec<f64> = THREAD_SWEEP
                 .iter()
-                .map(|&t| stack_throughput(Arc::new($ctor), t, s.ops / t))
+                .map(|&t| {
+                    let w = Workload::fifty_fifty(t, ctx.scale.ops / t, 1024);
+                    let stats = stack_run(Arc::new($ctor), w, ctx.warm);
+                    ctx.record("e10", $name, &w, &stats)
+                })
                 .collect();
             row($name, &cells);
         }};
@@ -319,6 +458,8 @@ fn e10_reclamation(s: &Scale) {
         "\nHP garbage backlog after 100k churn ops: {} nodes (bounded by design)",
         hp.garbage_len()
     );
+    ctx.report
+        .push_extra("e10_hp_garbage_after_100k_churn", hp.garbage_len() as f64);
     let collector_epoch = {
         let c = cds_reclaim::epoch::Collector::new();
         c.collect();
@@ -327,13 +468,55 @@ fn e10_reclamation(s: &Scale) {
     let _ = collector_epoch;
 }
 
+/// Validates an existing report file; returns an error description on any
+/// schema violation or missing experiment.
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let samples = report::validate_schema(&doc).map_err(|e| format!("{path}: {e}"))?;
+    report::validate_coverage(&samples).map_err(|e| format!("{path}: {e}"))?;
+    Ok(samples.len())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `experiments -- check <path>`: validate and exit.
+    if args.first().map(String::as_str) == Some("check") {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_experiments.json");
+        match check_file(path) {
+            Ok(n) => {
+                println!(
+                    "{path}: schema v{} OK, {n} samples, e1–e10 covered",
+                    report::SCHEMA_VERSION
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let quick = args.iter().any(|a| a == "--quick");
+    // `--json [path]`: the path operand (when present) must not be
+    // mistaken for an experiment id below.
+    let json_flag_idx = args.iter().position(|a| a == "--json");
+    let json_flag_with_operand =
+        json_flag_idx.filter(|i| args.get(i + 1).is_some_and(|p| !p.starts_with("--")));
+    let json_path: Option<String> = json_flag_idx.map(|_| match json_flag_with_operand {
+        Some(i) => args[i + 1].clone(),
+        None => "BENCH_experiments.json".to_string(),
+    });
     let wanted: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && json_flag_with_operand.map(|j| j + 1) != Some(*i))
+        .map(|(_, a)| a.to_lowercase())
         .collect();
     let run_all = wanted.is_empty() || wanted.iter().any(|a| a == "all");
     let want = |id: &str| run_all || wanted.iter().any(|a| a == id);
@@ -349,6 +532,16 @@ fn main() {
             list_ops: 40_000,
         }
     };
+    let warm = if quick {
+        Warmup::quick()
+    } else {
+        Warmup::standard()
+    };
+    let mut ctx = Ctx {
+        scale,
+        warm,
+        report: Report::new(if quick { "quick" } else { "full" }, warm),
+    };
 
     println!("# cds experiment tables");
     println!(
@@ -357,38 +550,67 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1),
         THREAD_SWEEP,
-        scale.ops,
+        ctx.scale.ops,
         if quick { " (--quick)" } else { "" }
     );
 
     if want("e1") {
-        e1_counters(&scale);
+        e1_counters(&mut ctx);
     }
     if want("e2") {
-        e2_stacks(&scale);
+        e2_stacks(&mut ctx);
     }
     if want("e3") {
-        e3_queues(&scale);
+        e3_queues(&mut ctx);
     }
     if want("e4") {
-        e4_lists(&scale);
+        e4_lists(&mut ctx);
     }
     if want("e5") {
-        e5_maps(&scale);
+        e5_maps(&mut ctx);
     }
     if want("e6") {
-        e6_skiplists(&scale);
+        e6_skiplists(&mut ctx);
     }
     if want("e7") {
-        e7_trees(&scale);
+        e7_trees(&mut ctx);
     }
     if want("e8") {
-        e8_priority_queues(&scale);
+        e8_priority_queues(&mut ctx);
     }
     if want("e9") {
-        e9_locks(&scale);
+        e9_locks(&mut ctx);
     }
     if want("e10") {
-        e10_reclamation(&scale);
+        e10_reclamation(&mut ctx);
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = ctx.report.write_file(&path) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        // Self-check: the file we just wrote must parse and satisfy the
+        // schema (and cover e1–e10 when the full suite ran).
+        let text = std::fs::read_to_string(&path).expect("just wrote it");
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: emitted invalid JSON: {e}");
+            std::process::exit(1);
+        });
+        let samples = report::validate_schema(&doc).unwrap_or_else(|e| {
+            eprintln!("{path}: emitted schema-invalid document: {e}");
+            std::process::exit(1);
+        });
+        if run_all {
+            if let Err(e) = report::validate_coverage(&samples) {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "\nwrote {path}: schema v{}, {} samples",
+            report::SCHEMA_VERSION,
+            samples.len()
+        );
     }
 }

@@ -1,0 +1,354 @@
+//! Structured benchmark results: the [`Sample`] record, the [`Report`]
+//! collector, and schema validation for `BENCH_experiments.json`.
+//!
+//! Schema (version [`SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "generated_by": "cds-bench experiments",
+//!   "mode": "quick" | "full",
+//!   "host": { "hardware_threads": 8, "os": "linux", "arch": "x86_64",
+//!             "rustc": "rustc 1.89.0 ..." },
+//!   "seeds": { "prefill": 42, "thread_base": 1, "warmup_offset": 1589837824 },
+//!   "latency_sample_every": 8,
+//!   "warmup": { "max_iters": 5, "window": 3, "cov_threshold": 0.05 },
+//!   "extras": { "e10_hp_garbage_after_100k_churn": 32 },
+//!   "samples": [ { "experiment": "e1", "impl": "atomic", "threads": 2,
+//!                  "read_pct": 0, "insert_pct": 0, "key_range": 0,
+//!                  "prefill": 0, "ops": 40000, "mops": 12.3,
+//!                  "duration_s": 0.0032, "warmup_iters": 3,
+//!                  "p50_ns": 105, "p90_ns": 130, "p99_ns": 410,
+//!                  "p999_ns": 2100 }, ... ]
+//! }
+//! ```
+//!
+//! Latency percentiles are bucket midpoints from the merged per-thread
+//! [`LatencyHistogram`](crate::LatencyHistogram)s (≤3% relative bucket
+//! error) and are sampled — one op in
+//! [`LATENCY_SAMPLE_EVERY`](crate::LATENCY_SAMPLE_EVERY) is timed — so the
+//! timestamping cost does not poison the throughput figures.
+
+use std::io::Write as _;
+
+use crate::json::Json;
+use crate::{
+    RunStats, Warmup, Workload, LATENCY_SAMPLE_EVERY, PREFILL_SEED, THREAD_SEED_BASE,
+    WARMUP_SEED_OFFSET,
+};
+
+/// Version stamped into (and required from) every emitted document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The ten experiment identifiers a complete report must cover.
+pub const ALL_EXPERIMENTS: [&str; 10] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// One measured cell: an (experiment, implementation, workload) point with
+/// throughput and latency percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Experiment identifier, `"e1"`..`"e10"`.
+    pub experiment: String,
+    /// Implementation name as printed in the tables.
+    pub impl_name: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Read percentage of the mix (0 for stacks/queues/counters/locks).
+    pub read_pct: u8,
+    /// Insert percentage of the mix.
+    pub insert_pct: u8,
+    /// Key range (0 when keys are irrelevant to the workload).
+    pub key_range: u64,
+    /// Prefill element count requested (post-clamp value is
+    /// `min(prefill, key_range)` for keyed structures).
+    pub prefill: usize,
+    /// Total timed operations across all threads.
+    pub ops: usize,
+    /// Throughput in million operations per second.
+    pub mops: f64,
+    /// Wall-clock duration of the timed section, seconds.
+    pub duration_s: f64,
+    /// Warmup iterations executed before steady state was declared.
+    pub warmup_iters: usize,
+    /// Median sampled latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile sampled latency, nanoseconds.
+    pub p90_ns: u64,
+    /// 99th percentile sampled latency, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th percentile sampled latency, nanoseconds.
+    pub p999_ns: u64,
+}
+
+impl Sample {
+    /// Builds a sample from a finished run.
+    pub fn from_stats(experiment: &str, impl_name: &str, w: &Workload, stats: &RunStats) -> Self {
+        Sample {
+            experiment: experiment.to_string(),
+            impl_name: impl_name.to_string(),
+            threads: w.threads,
+            read_pct: w.read_pct,
+            insert_pct: w.insert_pct,
+            key_range: w.key_range,
+            prefill: w.prefill,
+            ops: stats.total_ops,
+            mops: stats.mops,
+            duration_s: stats.duration_s,
+            warmup_iters: stats.warmup_iters,
+            p50_ns: stats.hist.percentile(50.0),
+            p90_ns: stats.hist.percentile(90.0),
+            p99_ns: stats.hist.percentile(99.0),
+            p999_ns: stats.hist.percentile(99.9),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::Str(self.experiment.clone())),
+            ("impl".into(), Json::Str(self.impl_name.clone())),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("read_pct".into(), Json::Num(self.read_pct as f64)),
+            ("insert_pct".into(), Json::Num(self.insert_pct as f64)),
+            ("key_range".into(), Json::Num(self.key_range as f64)),
+            ("prefill".into(), Json::Num(self.prefill as f64)),
+            ("ops".into(), Json::Num(self.ops as f64)),
+            ("mops".into(), Json::Num(self.mops)),
+            ("duration_s".into(), Json::Num(self.duration_s)),
+            ("warmup_iters".into(), Json::Num(self.warmup_iters as f64)),
+            ("p50_ns".into(), Json::Num(self.p50_ns as f64)),
+            ("p90_ns".into(), Json::Num(self.p90_ns as f64)),
+            ("p99_ns".into(), Json::Num(self.p99_ns as f64)),
+            ("p999_ns".into(), Json::Num(self.p999_ns as f64)),
+        ])
+    }
+
+    /// Rebuilds a sample from its JSON form (the round-trip direction).
+    pub fn from_json(value: &Json) -> Result<Sample, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            value
+                .get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("sample missing string field {k:?}"))
+        };
+        let u64_field = |k: &str| -> Result<u64, String> {
+            value
+                .get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("sample missing integer field {k:?}"))
+        };
+        let f64_field = |k: &str| -> Result<f64, String> {
+            value
+                .get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("sample missing number field {k:?}"))
+        };
+        Ok(Sample {
+            experiment: str_field("experiment")?,
+            impl_name: str_field("impl")?,
+            threads: u64_field("threads")? as usize,
+            read_pct: u64_field("read_pct")? as u8,
+            insert_pct: u64_field("insert_pct")? as u8,
+            key_range: u64_field("key_range")?,
+            prefill: u64_field("prefill")? as usize,
+            ops: u64_field("ops")? as usize,
+            mops: f64_field("mops")?,
+            duration_s: f64_field("duration_s")?,
+            warmup_iters: u64_field("warmup_iters")? as usize,
+            p50_ns: u64_field("p50_ns")?,
+            p90_ns: u64_field("p90_ns")?,
+            p99_ns: u64_field("p99_ns")?,
+            p999_ns: u64_field("p999_ns")?,
+        })
+    }
+}
+
+/// Collects [`Sample`]s across an `experiments` run and serializes the
+/// schema document.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Warmup policy the run used (stamped into the document).
+    pub warmup: Warmup,
+    /// All measured cells, in run order.
+    pub samples: Vec<Sample>,
+    /// Scalar side-channel measurements (e.g. the E10 HP garbage bound).
+    pub extras: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// Creates an empty report for the given mode.
+    pub fn new(mode: &str, warmup: Warmup) -> Self {
+        Report {
+            mode: mode.to_string(),
+            warmup,
+            samples: Vec::new(),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Appends one measured cell.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Records a scalar side-channel measurement.
+    pub fn push_extra(&mut self, key: &str, value: f64) {
+        self.extras.push((key.to_string(), value));
+    }
+
+    /// Serializes the full schema document.
+    pub fn to_json(&self) -> Json {
+        let host = Json::Obj(vec![
+            (
+                "hardware_threads".into(),
+                Json::Num(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1) as f64,
+                ),
+            ),
+            ("os".into(), Json::Str(std::env::consts::OS.into())),
+            ("arch".into(), Json::Str(std::env::consts::ARCH.into())),
+            ("rustc".into(), Json::Str(rustc_version())),
+        ]);
+        let seeds = Json::Obj(vec![
+            ("prefill".into(), Json::Num(PREFILL_SEED as f64)),
+            ("thread_base".into(), Json::Num(THREAD_SEED_BASE as f64)),
+            ("warmup_offset".into(), Json::Num(WARMUP_SEED_OFFSET as f64)),
+        ]);
+        let warmup = Json::Obj(vec![
+            ("max_iters".into(), Json::Num(self.warmup.max_iters as f64)),
+            ("window".into(), Json::Num(self.warmup.window as f64)),
+            ("cov_threshold".into(), Json::Num(self.warmup.cov_threshold)),
+        ]);
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+            (
+                "generated_by".into(),
+                Json::Str("cds-bench experiments".into()),
+            ),
+            ("mode".into(), Json::Str(self.mode.clone())),
+            ("host".into(), host),
+            ("seeds".into(), seeds),
+            (
+                "latency_sample_every".into(),
+                Json::Num(LATENCY_SAMPLE_EVERY as f64),
+            ),
+            ("warmup".into(), warmup),
+            (
+                "extras".into(),
+                Json::Obj(
+                    self.extras
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "samples".into(),
+                Json::Arr(self.samples.iter().map(Sample::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the document to `path` (pretty-printed, trailing newline).
+    pub fn write_file(&self, path: &str) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().to_string_pretty().as_bytes())
+    }
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Validates the document structure: schema version, host metadata, seeds,
+/// and every sample's fields and percentile monotonicity. Returns the
+/// parsed samples on success.
+pub fn validate_schema(doc: &Json) -> Result<Vec<Sample>, String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    let host = doc.get("host").ok_or("missing host object")?;
+    let hw = host
+        .get("hardware_threads")
+        .and_then(Json::as_u64)
+        .ok_or("missing host.hardware_threads")?;
+    if hw == 0 {
+        return Err("host.hardware_threads must be >= 1".into());
+    }
+    for key in ["os", "arch", "rustc"] {
+        host.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing host.{key}"))?;
+    }
+    let seeds = doc.get("seeds").ok_or("missing seeds object")?;
+    for key in ["prefill", "thread_base", "warmup_offset"] {
+        seeds
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing seeds.{key}"))?;
+    }
+    doc.get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing mode")?;
+    doc.get("latency_sample_every")
+        .and_then(Json::as_u64)
+        .ok_or("missing latency_sample_every")?;
+    let raw = doc
+        .get("samples")
+        .and_then(Json::as_array)
+        .ok_or("missing samples array")?;
+    if raw.is_empty() {
+        return Err("samples array is empty".into());
+    }
+    let mut samples = Vec::with_capacity(raw.len());
+    for (i, value) in raw.iter().enumerate() {
+        let s = Sample::from_json(value).map_err(|e| format!("sample {i}: {e}"))?;
+        if !(s.mops.is_finite() && s.mops > 0.0) {
+            return Err(format!("sample {i}: non-positive mops {}", s.mops));
+        }
+        if s.threads == 0 || s.ops == 0 {
+            return Err(format!("sample {i}: zero threads or ops"));
+        }
+        if !(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns && s.p99_ns <= s.p999_ns) {
+            return Err(format!(
+                "sample {i}: percentiles not monotone ({}, {}, {}, {})",
+                s.p50_ns, s.p90_ns, s.p99_ns, s.p999_ns
+            ));
+        }
+        samples.push(s);
+    }
+    Ok(samples)
+}
+
+/// Checks that `samples` covers every experiment in [`ALL_EXPERIMENTS`];
+/// returns the missing identifiers otherwise.
+pub fn validate_coverage(samples: &[Sample]) -> Result<(), String> {
+    let missing: Vec<&str> = ALL_EXPERIMENTS
+        .iter()
+        .filter(|id| !samples.iter().any(|s| s.experiment == **id))
+        .copied()
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("missing experiments: {}", missing.join(", ")))
+    }
+}

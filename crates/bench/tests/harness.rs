@@ -1,0 +1,262 @@
+//! Tests for the measurement harness itself (ISSUE 2 satellite): prefill
+//! exactness, op-stream determinism, histogram merge fidelity, and JSON
+//! schema round-tripping.
+
+use std::sync::Arc;
+
+use cds_bench::json::Json;
+use cds_bench::report::{validate_coverage, validate_schema, ALL_EXPERIMENTS};
+use cds_bench::{
+    prefill_map, prefill_pq, prefill_set, set_run, LatencyHistogram, MixedOp, OpStream, Report,
+    RunStats, Sample, Warmup, Workload,
+};
+use cds_core::{ConcurrentMap, ConcurrentPriorityQueue, ConcurrentSet};
+
+fn workload(key_range: u64, prefill: usize) -> Workload {
+    Workload {
+        threads: 1,
+        ops_per_thread: 0,
+        key_range,
+        read_pct: 50,
+        insert_pct: 25,
+        prefill,
+    }
+}
+
+#[test]
+fn prefill_inserts_exactly_min_of_prefill_and_key_range() {
+    // prefill < key_range: exactly `prefill` distinct keys.
+    let set = cds_list::LazyList::new();
+    let inserted = prefill_set(&set, &workload(64, 32));
+    assert_eq!(inserted, 32);
+    assert_eq!(set.len(), 32);
+
+    // prefill > key_range: the guard bug used to leave ~1 element here;
+    // the clamp must saturate the whole key range instead.
+    let set = cds_list::LazyList::new();
+    let inserted = prefill_set(&set, &workload(64, 1_000));
+    assert_eq!(inserted, 64);
+    assert_eq!(set.len(), 64);
+    for k in 0..64u64 {
+        assert!(set.contains(&k), "key {k} missing after saturating prefill");
+    }
+
+    // Same clamp for maps and priority queues.
+    let map = cds_map::StripedHashMap::new();
+    assert_eq!(prefill_map(&map, &workload(128, 9_999)), 128);
+    assert_eq!(map.len(), 128);
+
+    let pq = cds_prio::CoarseBinaryHeap::new();
+    assert_eq!(prefill_pq(&pq, &workload(50, 200)), 50);
+    assert_eq!(pq.len(), 50);
+}
+
+#[test]
+fn prefill_is_deterministic() {
+    let w = workload(1024, 500);
+    let a = cds_list::LazyList::new();
+    let b = cds_list::LazyList::new();
+    prefill_set(&a, &w);
+    prefill_set(&b, &w);
+    for k in 0..1024u64 {
+        assert_eq!(a.contains(&k), b.contains(&k), "divergent prefill at {k}");
+    }
+}
+
+#[test]
+fn same_seed_produces_identical_per_thread_op_streams() {
+    let w = Workload {
+        threads: 4,
+        ops_per_thread: 0,
+        key_range: 512,
+        read_pct: 50,
+        insert_pct: 25,
+        prefill: 0,
+    };
+    for thread in 0..4u64 {
+        let mut a = OpStream::new(1 + thread, &w);
+        let mut b = OpStream::new(1 + thread, &w);
+        let ops_a: Vec<MixedOp> = (0..10_000).map(|_| a.next_op()).collect();
+        let ops_b: Vec<MixedOp> = (0..10_000).map(|_| b.next_op()).collect();
+        assert_eq!(ops_a, ops_b, "thread {thread} streams diverged");
+    }
+    // Different seeds must differ (the streams are per-thread).
+    let mut a = OpStream::new(1, &w);
+    let mut b = OpStream::new(2, &w);
+    let ops_a: Vec<MixedOp> = (0..100).map(|_| a.next_op()).collect();
+    let ops_b: Vec<MixedOp> = (0..100).map(|_| b.next_op()).collect();
+    assert_ne!(ops_a, ops_b);
+}
+
+#[test]
+fn op_stream_mix_matches_requested_ratios() {
+    let w = Workload {
+        threads: 1,
+        ops_per_thread: 0,
+        key_range: 512,
+        read_pct: 90,
+        insert_pct: 5,
+        prefill: 0,
+    };
+    let mut s = OpStream::new(7, &w);
+    let mut reads = 0usize;
+    let mut inserts = 0usize;
+    const N: usize = 100_000;
+    for _ in 0..N {
+        match s.next_op() {
+            MixedOp::Read(_) => reads += 1,
+            MixedOp::Insert(_) => inserts += 1,
+            MixedOp::Remove(_) => {}
+        }
+    }
+    let read_frac = reads as f64 / N as f64;
+    let insert_frac = inserts as f64 / N as f64;
+    assert!((read_frac - 0.90).abs() < 0.01, "reads {read_frac}");
+    assert!((insert_frac - 0.05).abs() < 0.01, "inserts {insert_frac}");
+}
+
+#[test]
+fn histogram_merge_preserves_count_and_p50() {
+    // Known distribution: 1..=10_000 ns uniformly, split across two
+    // per-thread histograms (odds and evens).
+    let mut a = LatencyHistogram::new();
+    let mut b = LatencyHistogram::new();
+    for v in 1..=10_000u64 {
+        if v % 2 == 1 {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+    }
+    let mut merged = a.clone();
+    merged.merge(&b);
+    assert_eq!(merged.count(), a.count() + b.count());
+    assert_eq!(merged.count(), 10_000);
+
+    // True median is 5000; the bucket holding it spans 2^12..2^13 in 32
+    // sub-buckets (width 128), so the midpoint must land within one
+    // bucket width of the exact answer.
+    let p50 = merged.percentile(50.0);
+    assert!(
+        (p50 as i64 - 5_000).abs() <= 128,
+        "merged p50 {p50} more than one bucket from 5000"
+    );
+    // And the merge must agree with a single histogram of the whole
+    // distribution, bucket-for-bucket at every probed percentile.
+    let mut whole = LatencyHistogram::new();
+    for v in 1..=10_000u64 {
+        whole.record(v);
+    }
+    for q in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9] {
+        assert_eq!(merged.percentile(q), whole.percentile(q), "q={q}");
+    }
+}
+
+fn fake_sample(experiment: &str, threads: usize) -> Sample {
+    Sample {
+        experiment: experiment.to_string(),
+        impl_name: "fake-impl".to_string(),
+        threads,
+        read_pct: 50,
+        insert_pct: 25,
+        key_range: 512,
+        prefill: 256,
+        ops: 10_000,
+        mops: 12.345678,
+        duration_s: 0.00081,
+        warmup_iters: 3,
+        p50_ns: 120,
+        p90_ns: 310,
+        p99_ns: 1_900,
+        p999_ns: 22_000,
+    }
+}
+
+#[test]
+fn emitted_json_round_trips_and_validates() {
+    let mut report = Report::new("quick", Warmup::quick());
+    for id in ALL_EXPERIMENTS {
+        report.push(fake_sample(id, 1));
+        report.push(fake_sample(id, 8));
+    }
+    report.push_extra("e10_hp_garbage_after_100k_churn", 32.0);
+
+    let text = report.to_json().to_string_pretty();
+    let doc = Json::parse(&text).expect("emitted JSON must parse");
+    let samples = validate_schema(&doc).expect("emitted JSON must satisfy the schema");
+    validate_coverage(&samples).expect("all ten experiments present");
+
+    // Field-for-field round trip.
+    assert_eq!(samples.len(), report.samples.len());
+    for (parsed, original) in samples.iter().zip(report.samples.iter()) {
+        assert_eq!(parsed, original);
+    }
+    // Document metadata survives too.
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert!(doc
+        .get("host")
+        .and_then(|h| h.get("hardware_threads"))
+        .is_some());
+    assert_eq!(
+        doc.get("seeds")
+            .and_then(|s| s.get("prefill"))
+            .and_then(Json::as_u64),
+        Some(cds_bench::PREFILL_SEED)
+    );
+    assert_eq!(
+        doc.get("extras")
+            .and_then(|e| e.get("e10_hp_garbage_after_100k_churn"))
+            .and_then(Json::as_u64),
+        Some(32)
+    );
+}
+
+#[test]
+fn schema_validation_rejects_bad_documents() {
+    // Missing experiments -> coverage failure.
+    let mut report = Report::new("quick", Warmup::quick());
+    report.push(fake_sample("e1", 1));
+    let doc = Json::parse(&report.to_json().to_string_pretty()).unwrap();
+    let samples = validate_schema(&doc).expect("schema itself is fine");
+    assert!(validate_coverage(&samples).unwrap_err().contains("e2"));
+
+    // Wrong schema version.
+    let doc = Json::parse(r#"{"schema_version": 99}"#).unwrap();
+    assert!(validate_schema(&doc).unwrap_err().contains("99"));
+
+    // Empty samples.
+    let mut empty = Report::new("quick", Warmup::quick());
+    empty.extras.clear();
+    let doc = Json::parse(&empty.to_json().to_string_pretty()).unwrap();
+    assert!(validate_schema(&doc).unwrap_err().contains("empty"));
+
+    // Non-monotone percentiles.
+    let mut bad = Report::new("quick", Warmup::quick());
+    let mut s = fake_sample("e1", 1);
+    s.p50_ns = 10_000;
+    s.p90_ns = 5;
+    bad.push(s);
+    let doc = Json::parse(&bad.to_json().to_string_pretty()).unwrap();
+    assert!(validate_schema(&doc).unwrap_err().contains("monotone"));
+}
+
+#[test]
+fn timed_runs_report_consistent_stats() {
+    let w = Workload {
+        threads: 2,
+        ops_per_thread: 2_000,
+        key_range: 256,
+        read_pct: 50,
+        insert_pct: 25,
+        prefill: 4_096, // deliberately over key_range: exercises the clamp
+    };
+    let stats: RunStats = set_run(Arc::new(cds_list::LazyList::new()), w, Warmup::quick());
+    assert_eq!(stats.total_ops, 4_000);
+    assert!(stats.mops > 0.0);
+    assert!(stats.duration_s > 0.0);
+    assert!(stats.warmup_iters >= 1 && stats.warmup_iters <= 2);
+    assert!(stats.hist.count() > 0);
+    let sample = Sample::from_stats("e4", "lazy", &w, &stats);
+    assert!(sample.p50_ns <= sample.p90_ns && sample.p90_ns <= sample.p99_ns);
+}

@@ -1,9 +1,11 @@
-//! E10 — reclamation scheme comparison on Treiber-stack churn:
-//! epoch-based vs hazard pointers vs leaking baseline.
+//! E10 — reclamation backend comparison on Treiber-stack churn: the same
+//! `TreiberStack<u64, R>` instantiated with epoch-based reclamation,
+//! hazard pointers, and the leaking baseline.
 
 use std::sync::Arc;
 
-use cds_bench::{stack_run, LeakyTreiberStack, Warmup, Workload};
+use cds_bench::{stack_run, Warmup, Workload};
+use cds_reclaim::{Hazard, Leak};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -26,7 +28,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("hazard", threads), &threads, |b, &t| {
             b.iter(|| {
                 stack_run(
-                    Arc::new(cds_stack::HpTreiberStack::new()),
+                    Arc::new(cds_stack::TreiberStack::<u64, Hazard>::with_reclaimer()),
                     Workload::fifty_fifty(t, OPS / t, 1024),
                     Warmup::none(),
                 )
@@ -36,7 +38,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("leak", threads), &threads, |b, &t| {
             b.iter(|| {
                 stack_run(
-                    Arc::new(LeakyTreiberStack::new()),
+                    Arc::new(cds_stack::TreiberStack::<u64, Leak>::with_reclaimer()),
                     Workload::fifty_fifty(t, OPS / t, 1024),
                     Warmup::none(),
                 )

@@ -57,7 +57,9 @@ fn bench(c: &mut Criterion) {
             |b, &t| {
                 b.iter(|| {
                     stack_run(
-                        Arc::new(cds_stack::HpTreiberStack::new()),
+                        Arc::new(
+                            cds_stack::TreiberStack::<u64, cds_reclaim::Hazard>::with_reclaimer(),
+                        ),
                         Workload::fifty_fifty(t, OPS / t, 1024),
                         Warmup::none(),
                     )

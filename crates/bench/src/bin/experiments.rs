@@ -22,8 +22,8 @@ use std::sync::Arc;
 
 use cds_bench::json::Json;
 use cds_bench::{
-    counter_run, lock_run, map_run, pq_run, queue_run, report, set_run, stack_run,
-    LeakyTreiberStack, Report, RunStats, Sample, Warmup, Workload,
+    counter_run, lock_run, map_run, pq_run, queue_run, report, set_run, stack_run, Report,
+    RunStats, Sample, Warmup, Workload,
 };
 use cds_core::{ConcurrentMap, ConcurrentSet, ConcurrentStack};
 use cds_sync::RawLock;
@@ -47,6 +47,20 @@ impl Ctx {
     fn record(&mut self, experiment: &str, impl_name: &str, w: &Workload, stats: &RunStats) -> f64 {
         self.report
             .push(Sample::from_stats(experiment, impl_name, w, stats));
+        stats.mops
+    }
+
+    /// Records one measured cell tagged with its reclamation backend.
+    fn record_backend(
+        &mut self,
+        experiment: &str,
+        impl_name: &str,
+        backend: &str,
+        w: &Workload,
+        stats: &RunStats,
+    ) -> f64 {
+        self.report
+            .push(Sample::from_stats(experiment, impl_name, w, stats).with_reclaimer(backend));
         stats.mops
     }
 }
@@ -113,7 +127,10 @@ fn e2_stacks(ctx: &mut Ctx) {
     bench!("coarse", cds_stack::CoarseStack::new());
     bench!("flat-combining", cds_stack::FcStack::new());
     bench!("treiber (EBR)", cds_stack::TreiberStack::new());
-    bench!("treiber (HP)", cds_stack::HpTreiberStack::new());
+    bench!(
+        "treiber (HP)",
+        cds_stack::TreiberStack::<u64, cds_reclaim::Hazard>::with_reclaimer()
+    );
     bench!("elimination", cds_stack::EliminationBackoffStack::new());
     // Ablation (DESIGN.md decision #4): elimination parameters.
     bench!(
@@ -430,68 +447,127 @@ fn e9_locks(ctx: &mut Ctx) {
 }
 
 fn e10_reclamation(ctx: &mut Ctx) {
-    header("E10 — reclamation schemes on Treiber push/pop churn (Mops/s)");
-    macro_rules! bench {
-        ($name:expr, $ctor:expr) => {{
-            let cells: Vec<f64> = THREAD_SWEEP
-                .iter()
-                .map(|&t| {
-                    let w = Workload::fifty_fifty(t, ctx.scale.ops / t, 1024);
-                    let stats = stack_run(Arc::new($ctor), w, ctx.warm);
-                    ctx.record("e10", $name, &w, &stats)
-                })
-                .collect();
-            row($name, &cells);
-        }};
-    }
-    bench!("epoch (EBR)", cds_stack::TreiberStack::new());
-    bench!("hazard pointers", cds_stack::HpTreiberStack::new());
-    bench!("leak (no reclamation)", LeakyTreiberStack::new());
+    use cds_reclaim::{DebugReclaim, Ebr, Hazard, Leak, Reclaimer};
 
-    // Bounded-garbage evidence for HP: churn hard, then report backlog.
-    let hp = Arc::new(cds_stack::HpTreiberStack::new());
+    // Structure × backend sweep: each lock-free structure instantiated
+    // against every reclamation backend. Rows are backends (`R::NAME`);
+    // samples carry the structure as `impl` and the backend as
+    // `reclaimer`, which `experiments check` validates for full coverage.
+
+    fn stack_rows<R: Reclaimer>(ctx: &mut Ctx) {
+        let cells: Vec<f64> = THREAD_SWEEP
+            .iter()
+            .map(|&t| {
+                let w = Workload::fifty_fifty(t, ctx.scale.ops / t, 1024);
+                let stack = Arc::new(cds_stack::TreiberStack::<u64, R>::with_reclaimer());
+                let stats = stack_run(stack, w, ctx.warm);
+                ctx.record_backend("e10", "treiber", R::NAME, &w, &stats)
+            })
+            .collect();
+        row(R::NAME, &cells);
+    }
+
+    fn queue_rows<R: Reclaimer>(ctx: &mut Ctx) {
+        let cells: Vec<f64> = THREAD_SWEEP
+            .iter()
+            .map(|&t| {
+                let w = Workload::fifty_fifty(t, ctx.scale.ops / t, 1024);
+                let queue = Arc::new(cds_queue::MsQueue::<u64, R>::with_reclaimer());
+                let stats = queue_run(queue, w, ctx.warm);
+                ctx.record_backend("e10", "michael-scott", R::NAME, &w, &stats)
+            })
+            .collect();
+        row(R::NAME, &cells);
+    }
+
+    fn list_rows<R: Reclaimer>(ctx: &mut Ctx) {
+        let ops = ctx.scale.list_ops;
+        let cells: Vec<f64> = THREAD_SWEEP
+            .iter()
+            .map(|&t| {
+                let w = Workload {
+                    threads: t,
+                    ops_per_thread: ops / t,
+                    key_range: 512,
+                    read_pct: 50,
+                    insert_pct: 25,
+                    prefill: 256,
+                };
+                let list = Arc::new(cds_list::HarrisMichaelList::<u64, R>::with_reclaimer());
+                let stats = set_run(list, w, ctx.warm);
+                ctx.record_backend("e10", "harris-michael", R::NAME, &w, &stats)
+            })
+            .collect();
+        row(R::NAME, &cells);
+    }
+
+    header("E10 — Treiber stack × reclamation backend (50/50 push/pop, Mops/s)");
+    stack_rows::<Ebr>(ctx);
+    stack_rows::<Hazard>(ctx);
+    stack_rows::<Leak>(ctx);
+    stack_rows::<DebugReclaim>(ctx);
+
+    header("E10 — Michael–Scott queue × reclamation backend (50/50 enq/deq, Mops/s)");
+    queue_rows::<Ebr>(ctx);
+    queue_rows::<Hazard>(ctx);
+    queue_rows::<Leak>(ctx);
+    queue_rows::<DebugReclaim>(ctx);
+
+    header("E10 — Harris–Michael list × reclamation backend (50% reads, Mops/s)");
+    list_rows::<Ebr>(ctx);
+    list_rows::<Hazard>(ctx);
+    list_rows::<Leak>(ctx);
+    list_rows::<DebugReclaim>(ctx);
+
+    // Bounded-garbage evidence for hazard pointers: churn hard, then
+    // report the domain's retired-but-not-yet-freed backlog.
+    let hp = Arc::new(cds_stack::TreiberStack::<u64, Hazard>::with_reclaimer());
     for i in 0..100_000u64 {
         hp.push(i);
         std::hint::black_box(hp.pop());
     }
-    println!(
-        "\nHP garbage backlog after 100k churn ops: {} nodes (bounded by design)",
-        hp.garbage_len()
-    );
+    Hazard::collect();
+    let backlog = Hazard::retired_backlog();
+    println!("\nhazard-pointer garbage backlog after 100k churn ops: {backlog} nodes (bounded by design)");
     ctx.report
-        .push_extra("e10_hp_garbage_after_100k_churn", hp.garbage_len() as f64);
-    let collector_epoch = {
-        let c = cds_reclaim::epoch::Collector::new();
-        c.collect();
-        c.epoch()
-    };
-    let _ = collector_epoch;
+        .push_extra("e10_hazard_garbage_after_100k_churn", backlog as f64);
 }
 
 /// Validates an existing report file; returns an error description on any
-/// schema violation or missing experiment.
-fn check_file(path: &str) -> Result<usize, String> {
+/// schema violation or missing experiment. With `partial`, e1–e10
+/// coverage is not required (for single-experiment runs), but any e10
+/// samples present must still sweep every reclamation backend.
+fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
     let samples = report::validate_schema(&doc).map_err(|e| format!("{path}: {e}"))?;
-    report::validate_coverage(&samples).map_err(|e| format!("{path}: {e}"))?;
+    if !partial {
+        report::validate_coverage(&samples).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if !partial || samples.iter().any(|s| s.experiment == "e10") {
+        report::validate_e10_backends(&samples).map_err(|e| format!("{path}: {e}"))?;
+    }
     Ok(samples.len())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    // `experiments -- check <path>`: validate and exit.
+    // `experiments -- check [--partial] <path>`: validate and exit.
     if args.first().map(String::as_str) == Some("check") {
+        let partial = args.iter().any(|a| a == "--partial");
         let path = args
-            .get(1)
+            .iter()
+            .skip(1)
+            .find(|a| *a != "--partial")
             .map(String::as_str)
             .unwrap_or("BENCH_experiments.json");
-        match check_file(path) {
+        match check_file(path, partial) {
             Ok(n) => {
                 println!(
-                    "{path}: schema v{} OK, {n} samples, e1–e10 covered",
-                    report::SCHEMA_VERSION
+                    "{path}: schema v{} OK, {n} samples, {}e10 backends swept",
+                    report::SCHEMA_VERSION,
+                    if partial { "" } else { "e1–e10 covered, " },
                 );
                 return;
             }
@@ -602,7 +678,9 @@ fn main() {
             std::process::exit(1);
         });
         if run_all {
-            if let Err(e) = report::validate_coverage(&samples) {
+            if let Err(e) = report::validate_coverage(&samples)
+                .and_then(|()| report::validate_e10_backends(&samples))
+            {
                 eprintln!("{path}: {e}");
                 std::process::exit(1);
             }

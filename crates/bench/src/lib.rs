@@ -25,7 +25,6 @@
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
@@ -684,87 +683,6 @@ where
     lock_run(threads, ops_per_thread, Warmup::none(), lock_incr).mops
 }
 
-/// A Treiber stack that **never frees popped nodes** — the reclamation
-/// experiment's upper-bound baseline (E10): all the algorithm, none of the
-/// reclamation cost, unbounded leak.
-#[derive(Debug)]
-pub struct LeakyTreiberStack<T> {
-    head: AtomicPtr<LeakyNode<T>>,
-}
-
-#[derive(Debug)]
-struct LeakyNode<T> {
-    value: Option<T>,
-    next: *mut LeakyNode<T>,
-}
-
-// SAFETY: values move by `T: Send`; nodes are intentionally leaked, so no
-// use-after-free is possible.
-unsafe impl<T: Send> Send for LeakyTreiberStack<T> {}
-unsafe impl<T: Send> Sync for LeakyTreiberStack<T> {}
-
-impl<T> LeakyTreiberStack<T> {
-    /// Creates an empty stack.
-    pub fn new() -> Self {
-        LeakyTreiberStack {
-            head: AtomicPtr::new(std::ptr::null_mut()),
-        }
-    }
-}
-
-impl<T> Default for LeakyTreiberStack<T> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<T: Send> ConcurrentStack<T> for LeakyTreiberStack<T> {
-    const NAME: &'static str = "treiber-leak";
-
-    fn push(&self, value: T) {
-        let node = Box::into_raw(Box::new(LeakyNode {
-            value: Some(value),
-            next: std::ptr::null_mut(),
-        }));
-        loop {
-            let head = self.head.load(Ordering::Relaxed);
-            // SAFETY: unpublished.
-            unsafe { (*node).next = head };
-            if self
-                .head
-                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
-                .is_ok()
-            {
-                return;
-            }
-        }
-    }
-
-    fn pop(&self) -> Option<T> {
-        loop {
-            let head = self.head.load(Ordering::Acquire);
-            if head.is_null() {
-                return None;
-            }
-            // SAFETY: nodes are never freed, so this is always valid (the
-            // entire point of the leaking baseline).
-            let next = unsafe { (*head).next };
-            if self
-                .head
-                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                // SAFETY: CAS winner takes the value; node itself leaks.
-                return unsafe { (*head).value.take() };
-            }
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.head.load(Ordering::Acquire).is_null()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -817,16 +735,6 @@ mod tests {
             },
         );
         assert!(mops > 0.0);
-    }
-
-    #[test]
-    fn leaky_stack_is_a_working_stack() {
-        let s = LeakyTreiberStack::new();
-        s.push(1);
-        s.push(2);
-        assert_eq!(s.pop(), Some(2));
-        assert_eq!(s.pop(), Some(1));
-        assert_eq!(s.pop(), None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "generated_by": "cds-bench experiments",
 //!   "mode": "quick" | "full",
 //!   "host": { "hardware_threads": 8, "os": "linux", "arch": "x86_64",
@@ -13,7 +13,7 @@
 //!   "seeds": { "prefill": 42, "thread_base": 1, "warmup_offset": 1589837824 },
 //!   "latency_sample_every": 8,
 //!   "warmup": { "max_iters": 5, "window": 3, "cov_threshold": 0.05 },
-//!   "extras": { "e10_hp_garbage_after_100k_churn": 32 },
+//!   "extras": { "e10_hazard_garbage_after_100k_churn": 32 },
 //!   "samples": [ { "experiment": "e1", "impl": "atomic", "threads": 2,
 //!                  "read_pct": 0, "insert_pct": 0, "key_range": 0,
 //!                  "prefill": 0, "ops": 40000, "mops": 12.3,
@@ -22,6 +22,11 @@
 //!                  "p999_ns": 2100 }, ... ]
 //! }
 //! ```
+//!
+//! Version 2 adds an optional `"reclaimer"` string to each sample — the
+//! reclamation backend the structure was instantiated with (`"ebr"`,
+//! `"hazard"`, `"leak"`, `"debug"`). E10 samples must carry it; the
+//! backend sweep is validated by [`validate_e10_backends`].
 //!
 //! Latency percentiles are bucket midpoints from the merged per-thread
 //! [`LatencyHistogram`](crate::LatencyHistogram)s (≤3% relative bucket
@@ -38,11 +43,14 @@ use crate::{
 };
 
 /// Version stamped into (and required from) every emitted document.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The ten experiment identifiers a complete report must cover.
 pub const ALL_EXPERIMENTS: [&str; 10] =
     ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// The reclamation backends the E10 sweep must cover.
+pub const E10_BACKENDS: [&str; 4] = ["ebr", "hazard", "leak", "debug"];
 
 /// One measured cell: an (experiment, implementation, workload) point with
 /// throughput and latency percentiles.
@@ -52,6 +60,9 @@ pub struct Sample {
     pub experiment: String,
     /// Implementation name as printed in the tables.
     pub impl_name: String,
+    /// Reclamation backend the structure ran with (`"ebr"`, `"hazard"`,
+    /// `"leak"`, `"debug"`), or `None` where reclamation is not an axis.
+    pub reclaimer: Option<String>,
     /// Worker thread count.
     pub threads: usize,
     /// Read percentage of the mix (0 for stacks/queues/counters/locks).
@@ -87,6 +98,7 @@ impl Sample {
         Sample {
             experiment: experiment.to_string(),
             impl_name: impl_name.to_string(),
+            reclaimer: None,
             threads: w.threads,
             read_pct: w.read_pct,
             insert_pct: w.insert_pct,
@@ -103,10 +115,21 @@ impl Sample {
         }
     }
 
+    /// Tags the sample with the reclamation backend it ran under.
+    pub fn with_reclaimer(mut self, reclaimer: &str) -> Self {
+        self.reclaimer = Some(reclaimer.to_string());
+        self
+    }
+
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("experiment".into(), Json::Str(self.experiment.clone())),
             ("impl".into(), Json::Str(self.impl_name.clone())),
+        ];
+        if let Some(r) = &self.reclaimer {
+            fields.push(("reclaimer".into(), Json::Str(r.clone())));
+        }
+        fields.extend([
             ("threads".into(), Json::Num(self.threads as f64)),
             ("read_pct".into(), Json::Num(self.read_pct as f64)),
             ("insert_pct".into(), Json::Num(self.insert_pct as f64)),
@@ -120,7 +143,8 @@ impl Sample {
             ("p90_ns".into(), Json::Num(self.p90_ns as f64)),
             ("p99_ns".into(), Json::Num(self.p99_ns as f64)),
             ("p999_ns".into(), Json::Num(self.p999_ns as f64)),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 
     /// Rebuilds a sample from its JSON form (the round-trip direction).
@@ -147,6 +171,10 @@ impl Sample {
         Ok(Sample {
             experiment: str_field("experiment")?,
             impl_name: str_field("impl")?,
+            reclaimer: value
+                .get("reclaimer")
+                .and_then(Json::as_str)
+                .map(str::to_string),
             threads: u64_field("threads")? as usize,
             read_pct: u64_field("read_pct")? as u8,
             insert_pct: u64_field("insert_pct")? as u8,
@@ -333,9 +361,37 @@ pub fn validate_schema(doc: &Json) -> Result<Vec<Sample>, String> {
                 s.p50_ns, s.p90_ns, s.p99_ns, s.p999_ns
             ));
         }
+        if let Some(r) = &s.reclaimer {
+            if !E10_BACKENDS.contains(&r.as_str()) {
+                return Err(format!("sample {i}: unknown reclaimer {r:?}"));
+            }
+        }
+        if s.experiment == "e10" && s.reclaimer.is_none() {
+            return Err(format!("sample {i}: e10 sample missing reclaimer tag"));
+        }
         samples.push(s);
     }
     Ok(samples)
+}
+
+/// Checks that the E10 samples sweep every backend in [`E10_BACKENDS`];
+/// returns the missing backends otherwise. Only meaningful on documents
+/// that already passed [`validate_coverage`].
+pub fn validate_e10_backends(samples: &[Sample]) -> Result<(), String> {
+    let missing: Vec<&str> = E10_BACKENDS
+        .iter()
+        .filter(|b| {
+            !samples
+                .iter()
+                .any(|s| s.experiment == "e10" && s.reclaimer.as_deref() == Some(**b))
+        })
+        .copied()
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("e10 missing backends: {}", missing.join(", ")))
+    }
 }
 
 /// Checks that `samples` covers every experiment in [`ALL_EXPERIMENTS`];

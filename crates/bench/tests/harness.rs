@@ -5,7 +5,9 @@
 use std::sync::Arc;
 
 use cds_bench::json::Json;
-use cds_bench::report::{validate_coverage, validate_schema, ALL_EXPERIMENTS};
+use cds_bench::report::{
+    validate_coverage, validate_e10_backends, validate_schema, ALL_EXPERIMENTS,
+};
 use cds_bench::{
     prefill_map, prefill_pq, prefill_set, set_run, LatencyHistogram, MixedOp, OpStream, Report,
     RunStats, Sample, Warmup, Workload,
@@ -156,6 +158,8 @@ fn fake_sample(experiment: &str, threads: usize) -> Sample {
     Sample {
         experiment: experiment.to_string(),
         impl_name: "fake-impl".to_string(),
+        // E10 samples must carry the reclamation-backend axis (schema v2).
+        reclaimer: (experiment == "e10").then(|| "ebr".to_string()),
         threads,
         read_pct: 50,
         insert_pct: 25,
@@ -179,12 +183,17 @@ fn emitted_json_round_trips_and_validates() {
         report.push(fake_sample(id, 1));
         report.push(fake_sample(id, 8));
     }
-    report.push_extra("e10_hp_garbage_after_100k_churn", 32.0);
+    // The e10 sweep must cover every backend (schema v2).
+    for backend in ["hazard", "leak", "debug"] {
+        report.push(fake_sample("e10", 1).with_reclaimer(backend));
+    }
+    report.push_extra("e10_hazard_garbage_after_100k_churn", 32.0);
 
     let text = report.to_json().to_string_pretty();
     let doc = Json::parse(&text).expect("emitted JSON must parse");
     let samples = validate_schema(&doc).expect("emitted JSON must satisfy the schema");
     validate_coverage(&samples).expect("all ten experiments present");
+    validate_e10_backends(&samples).expect("all four reclamation backends present");
 
     // Field-for-field round trip.
     assert_eq!(samples.len(), report.samples.len());
@@ -193,7 +202,7 @@ fn emitted_json_round_trips_and_validates() {
     }
     // Document metadata survives too.
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
     assert!(doc
         .get("host")
         .and_then(|h| h.get("hardware_threads"))
@@ -206,7 +215,7 @@ fn emitted_json_round_trips_and_validates() {
     );
     assert_eq!(
         doc.get("extras")
-            .and_then(|e| e.get("e10_hp_garbage_after_100k_churn"))
+            .and_then(|e| e.get("e10_hazard_garbage_after_100k_churn"))
             .and_then(Json::as_u64),
         Some(32)
     );
@@ -239,6 +248,31 @@ fn schema_validation_rejects_bad_documents() {
     bad.push(s);
     let doc = Json::parse(&bad.to_json().to_string_pretty()).unwrap();
     assert!(validate_schema(&doc).unwrap_err().contains("monotone"));
+
+    // An e10 sample without its reclamation-backend tag.
+    let mut untagged = Report::new("quick", Warmup::quick());
+    let mut s = fake_sample("e10", 1);
+    s.reclaimer = None;
+    untagged.push(s);
+    let doc = Json::parse(&untagged.to_json().to_string_pretty()).unwrap();
+    assert!(validate_schema(&doc).unwrap_err().contains("reclaimer"));
+
+    // An unknown backend name is rejected outright.
+    let mut unknown = Report::new("quick", Warmup::quick());
+    unknown.push(fake_sample("e10", 1).with_reclaimer("qsbr"));
+    let doc = Json::parse(&unknown.to_json().to_string_pretty()).unwrap();
+    assert!(validate_schema(&doc).unwrap_err().contains("qsbr"));
+
+    // A sweep that skipped a backend fails the e10 coverage check.
+    let mut partial = Report::new("quick", Warmup::quick());
+    for backend in ["ebr", "hazard", "leak"] {
+        partial.push(fake_sample("e10", 1).with_reclaimer(backend));
+    }
+    let doc = Json::parse(&partial.to_json().to_string_pretty()).unwrap();
+    let samples = validate_schema(&doc).expect("schema itself is fine");
+    assert!(validate_e10_backends(&samples)
+        .unwrap_err()
+        .contains("debug"));
 }
 
 #[test]

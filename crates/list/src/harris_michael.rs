@@ -3,7 +3,8 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 
 use cds_core::ConcurrentSet;
-use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
+use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
 use cds_sync::Backoff;
 
 /// Tag bit marking a node as logically deleted (stored in the low bit of
@@ -32,7 +33,13 @@ struct Node<T> {
 ///    deleter's behalf (helping), which is what makes the algorithm
 ///    lock-free.
 ///
-/// Unlinked nodes go to the epoch collector.
+/// The list is generic over its reclamation backend `R`
+/// ([`cds_reclaim::Reclaimer`], default [`Ebr`]) and uses the **blanket**
+/// protection mode ([`Reclaimer::enter_blanket`]): traversals restart
+/// through chains of marked nodes whose predecessors are not frozen, so
+/// no fixed set of per-location hazards can cover them — epoch pins and
+/// hazard *eras* can, because a retired node is unreachable to operations
+/// that begin after the retire.
 ///
 /// # Example
 ///
@@ -46,19 +53,28 @@ struct Node<T> {
 /// assert!(s.remove(&1));
 /// assert!(!s.contains(&1));
 /// ```
-pub struct HarrisMichaelList<T> {
+pub struct HarrisMichaelList<T, R: Reclaimer = Ebr> {
     head: Atomic<Node<T>>,
+    _reclaimer: std::marker::PhantomData<R>,
 }
 
-// SAFETY: keys cross threads by value; nodes are epoch-managed.
-unsafe impl<T: Send + Sync> Send for HarrisMichaelList<T> {}
-unsafe impl<T: Send + Sync> Sync for HarrisMichaelList<T> {}
+// SAFETY: keys cross threads by value; nodes are reclaimer-managed.
+unsafe impl<T: Send + Sync, R: Reclaimer> Send for HarrisMichaelList<T, R> {}
+unsafe impl<T: Send + Sync, R: Reclaimer> Sync for HarrisMichaelList<T, R> {}
 
 impl<T: Ord> HarrisMichaelList<T> {
-    /// Creates an empty set.
+    /// Creates an empty set on the default ([`Ebr`]) backend.
     pub fn new() -> Self {
+        Self::with_reclaimer()
+    }
+}
+
+impl<T: Ord, R: Reclaimer> HarrisMichaelList<T, R> {
+    /// Creates an empty set on the reclamation backend `R`.
+    pub fn with_reclaimer() -> Self {
         HarrisMichaelList {
             head: Atomic::null(),
+            _reclaimer: std::marker::PhantomData,
         }
     }
 
@@ -66,10 +82,10 @@ impl<T: Ord> HarrisMichaelList<T> {
     /// unlinking every marked node it passes. Returns
     /// `(found, prev, curr)` where `prev` is the atomic that points at
     /// `curr` and `curr` is untagged (possibly null = end of list).
-    fn find<'g>(
+    fn find<'g, G: ReclaimGuard>(
         &'g self,
         key: &T,
-        guard: &'g Guard,
+        guard: &'g G,
     ) -> (bool, &'g Atomic<Node<T>>, Shared<'g, Node<T>>) {
         'retry: loop {
             cds_core::stress::yield_point();
@@ -93,7 +109,7 @@ impl<T: Ord> HarrisMichaelList<T> {
                     ) {
                         Ok(_) => {
                             // SAFETY: we unlinked it; readers may linger.
-                            unsafe { guard.defer_destroy(curr) };
+                            unsafe { guard.retire(curr) };
                             curr = next.with_tag(0);
                         }
                         // Someone changed prev under us; start over.
@@ -114,17 +130,17 @@ impl<T: Ord> HarrisMichaelList<T> {
     }
 }
 
-impl<T: Ord> Default for HarrisMichaelList<T> {
+impl<T: Ord, R: Reclaimer> Default for HarrisMichaelList<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
+impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for HarrisMichaelList<T, R> {
     const NAME: &'static str = "harris-michael";
 
     fn insert(&self, value: T) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let backoff = Backoff::new();
         let mut node = Owned::new(Node {
             key: value,
@@ -159,7 +175,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
     }
 
     fn remove(&self, value: &T) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let backoff = Backoff::new();
         loop {
             cds_core::stress::yield_point();
@@ -199,7 +215,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
                 &guard,
             ) {
                 // SAFETY: unlinked by us exactly once.
-                Ok(_) => unsafe { guard.defer_destroy(curr) },
+                Ok(_) => unsafe { guard.retire(curr) },
                 // A helper will (or did) unlink and defer it.
                 Err(_) => {
                     let _ = self.find(value, &guard);
@@ -211,7 +227,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
 
     fn contains(&self, value: &T) -> bool {
         // Wait-free traversal: no helping, just skip marked nodes.
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let mut curr = self.head.load(Ordering::Acquire, &guard);
         loop {
             cds_core::stress::yield_point();
@@ -229,7 +245,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
     }
 
     fn len(&self) -> usize {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let mut n = 0;
         let mut curr = self.head.load(Ordering::Acquire, &guard);
         while let Some(curr_ref) = unsafe { curr.as_ref() } {
@@ -243,9 +259,11 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for HarrisMichaelList<T> {
     }
 }
 
-impl<T> Drop for HarrisMichaelList<T> {
+impl<T, R: Reclaimer> Drop for HarrisMichaelList<T, R> {
     fn drop(&mut self) {
-        // SAFETY: unique access.
+        // SAFETY: unique access; the unprotected guard is a pure load
+        // witness on every backend. Already-retired nodes are unreachable
+        // from `head` and are freed by the backend, not here.
         let guard = unsafe { Guard::unprotected() };
         let mut cur = self.head.load(Ordering::Relaxed, &guard);
         while !cur.is_null() {
@@ -259,9 +277,11 @@ impl<T> Drop for HarrisMichaelList<T> {
     }
 }
 
-impl<T> fmt::Debug for HarrisMichaelList<T> {
+impl<T, R: Reclaimer> fmt::Debug for HarrisMichaelList<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("HarrisMichaelList").finish_non_exhaustive()
+        f.debug_struct("HarrisMichaelList")
+            .field("reclaimer", &R::NAME)
+            .finish_non_exhaustive()
     }
 }
 
@@ -276,7 +296,7 @@ impl<T: Ord + Send + Sync> FromIterator<T> for HarrisMichaelList<T> {
     }
 }
 
-impl<T: Ord + Send + Sync> Extend<T> for HarrisMichaelList<T> {
+impl<T: Ord + Send + Sync, R: Reclaimer> Extend<T> for HarrisMichaelList<T, R> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         for v in iter {
             self.insert(v);
@@ -316,6 +336,28 @@ mod tests {
         // visible).
         assert!(s.insert(5));
         assert!(s.contains(&5));
+    }
+
+    #[test]
+    fn set_semantics_on_every_backend() {
+        fn run<R: Reclaimer>() {
+            let s: HarrisMichaelList<u64, R> = HarrisMichaelList::with_reclaimer();
+            for i in 0..64 {
+                assert!(s.insert(i), "{} backend", R::NAME);
+            }
+            for i in (0..64).step_by(2) {
+                assert!(s.remove(&i), "{} backend", R::NAME);
+            }
+            for i in 0..64 {
+                assert_eq!(s.contains(&i), i % 2 == 1, "{} backend", R::NAME);
+            }
+            assert_eq!(s.len(), 32);
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<cds_reclaim::Hazard>();
+        run::<cds_reclaim::Leak>();
+        run::<cds_reclaim::DebugReclaim>();
     }
 
     #[test]

@@ -3,7 +3,8 @@ use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cds_core::ConcurrentMap;
-use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
+use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
 use cds_sync::Backoff;
 
 /// Logical-deletion mark (low tag bit of a node's own `next` pointer).
@@ -51,7 +52,12 @@ fn dummy_key(bucket: u64) -> u64 {
 /// the top bit cleared), recursively.
 ///
 /// All operations are lock-free; `len` is O(1) (a shared counter,
-/// quiescently consistent). Removed nodes go to the epoch collector.
+/// quiescently consistent). The map is generic over its reclamation
+/// backend `R` ([`cds_reclaim::Reclaimer`], default [`Ebr`]) and uses the
+/// **blanket** protection mode ([`Reclaimer::enter_blanket`]): like the
+/// Harris–Michael list it is built on, traversals restart through marked
+/// chains that per-location hazards cannot cover, so protection comes
+/// from epoch pins or hazard eras.
 ///
 /// # Example
 ///
@@ -66,7 +72,7 @@ fn dummy_key(bucket: u64) -> u64 {
 /// assert_eq!(m.get(&500), Some(501));
 /// assert_eq!(m.len(), 1000);
 /// ```
-pub struct SplitOrderedHashMap<K, V, S = RandomState> {
+pub struct SplitOrderedHashMap<K, V, S = RandomState, R: Reclaimer = Ebr> {
     /// Directory of segments of bucket pointers; segment allocated on first
     /// touch.
     segments: Box<[Atomic<Segment<K, V>>]>,
@@ -74,20 +80,36 @@ pub struct SplitOrderedHashMap<K, V, S = RandomState> {
     bucket_count: AtomicUsize,
     size: AtomicUsize,
     hasher: S,
+    _reclaimer: std::marker::PhantomData<R>,
 }
 
 struct Segment<K, V> {
     buckets: Box<[Atomic<Node<K, V>>]>,
 }
 
-// SAFETY: nodes are epoch-managed; keys/values cross threads by value and
-// by `&` (get clones), hence Send + Sync on both.
-unsafe impl<K: Send + Sync, V: Send + Sync, S: Send> Send for SplitOrderedHashMap<K, V, S> {}
-unsafe impl<K: Send + Sync, V: Send + Sync, S: Sync> Sync for SplitOrderedHashMap<K, V, S> {}
+// SAFETY: nodes are reclaimer-managed; keys/values cross threads by value
+// and by `&` (get clones), hence Send + Sync on both.
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Send, R: Reclaimer> Send
+    for SplitOrderedHashMap<K, V, S, R>
+{
+}
+unsafe impl<K: Send + Sync, V: Send + Sync, S: Sync, R: Reclaimer> Sync
+    for SplitOrderedHashMap<K, V, S, R>
+{
+}
 
 impl<K: Hash + Eq, V> SplitOrderedHashMap<K, V, RandomState> {
-    /// Creates an empty map with the default hasher.
+    /// Creates an empty map with the default hasher on the default
+    /// ([`Ebr`]) backend.
     pub fn new() -> Self {
+        Self::with_hasher(RandomState::new())
+    }
+}
+
+impl<K: Hash + Eq, V, R: Reclaimer> SplitOrderedHashMap<K, V, RandomState, R> {
+    /// Creates an empty map with the default hasher on the reclamation
+    /// backend `R`.
+    pub fn with_reclaimer() -> Self {
         Self::with_hasher(RandomState::new())
     }
 }
@@ -100,7 +122,7 @@ impl<K: Hash + Eq, V> Default for SplitOrderedHashMap<K, V, RandomState> {
 
 type FindResult<'g, K, V> = (bool, &'g Atomic<Node<K, V>>, Shared<'g, Node<K, V>>);
 
-impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
+impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> SplitOrderedHashMap<K, V, S, R> {
     /// Creates an empty map with a caller-supplied hasher.
     pub fn with_hasher(hasher: S) -> Self {
         let map = SplitOrderedHashMap {
@@ -108,6 +130,7 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
             bucket_count: AtomicUsize::new(2),
             size: AtomicUsize::new(0),
             hasher,
+            _reclaimer: std::marker::PhantomData,
         };
         // Eagerly initialize bucket 0 with the list head dummy.
         // SAFETY: not shared yet.
@@ -128,7 +151,11 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
 
     /// Returns the directory slot for `bucket`, allocating its segment if
     /// needed.
-    fn bucket_slot<'g>(&'g self, bucket: usize, guard: &'g Guard) -> &'g Atomic<Node<K, V>> {
+    fn bucket_slot<'g, G: ReclaimGuard>(
+        &'g self,
+        bucket: usize,
+        guard: &'g G,
+    ) -> &'g Atomic<Node<K, V>> {
         let seg_idx = bucket >> SEGMENT_BITS;
         let seg = self.segments[seg_idx].load(Ordering::Acquire, guard);
         let seg = if seg.is_null() {
@@ -159,7 +186,11 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
 
     /// Ensures `bucket` has its dummy node, inserting it (and its
     /// ancestors') lazily. Returns the bucket's dummy node.
-    fn initialize_bucket<'g>(&'g self, bucket: usize, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+    fn initialize_bucket<'g, G: ReclaimGuard>(
+        &'g self,
+        bucket: usize,
+        guard: &'g G,
+    ) -> Shared<'g, Node<K, V>> {
         let slot = self.bucket_slot(bucket, guard);
         let existing = slot.load(Ordering::Acquire, guard);
         if !existing.is_null() {
@@ -210,12 +241,12 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
     /// the first node with `so_key > key`, or at the node matching
     /// `(key, k)` exactly. Nodes with equal `so_key` but different `K`
     /// (hash collisions) are scanned through.
-    fn find_from<'g>(
+    fn find_from<'g, G: ReclaimGuard>(
         &'g self,
         start: Shared<'g, Node<K, V>>,
         key: u64,
         k: Option<&K>,
-        guard: &'g Guard,
+        guard: &'g G,
     ) -> FindResult<'g, K, V> {
         'retry: loop {
             cds_core::stress::yield_point();
@@ -240,7 +271,7 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
                     ) {
                         Ok(_) => {
                             // SAFETY: unlinked by this CAS.
-                            unsafe { guard.defer_destroy(curr) };
+                            unsafe { guard.retire(curr) };
                             curr = next.with_tag(0);
                             continue;
                         }
@@ -268,7 +299,11 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
     }
 
     /// Returns the dummy node that starts `key`'s bucket run.
-    fn bucket_for<'g>(&'g self, hash: u64, guard: &'g Guard) -> Shared<'g, Node<K, V>> {
+    fn bucket_for<'g, G: ReclaimGuard>(
+        &'g self,
+        hash: u64,
+        guard: &'g G,
+    ) -> Shared<'g, Node<K, V>> {
         let bucket = (hash as usize) & (self.bucket_count.load(Ordering::Acquire) - 1);
         if bucket == 0 {
             let slot = self.bucket_slot(0, guard);
@@ -284,16 +319,17 @@ impl<K: Hash + Eq, V, S: BuildHasher> SplitOrderedHashMap<K, V, S> {
     }
 }
 
-impl<K, V, S> ConcurrentMap<K, V> for SplitOrderedHashMap<K, V, S>
+impl<K, V, S, R> ConcurrentMap<K, V> for SplitOrderedHashMap<K, V, S, R>
 where
     K: Hash + Eq + Send + Sync,
     V: Clone + Send + Sync,
     S: BuildHasher + Send + Sync,
+    R: Reclaimer,
 {
     const NAME: &'static str = "split-ordered";
 
     fn insert(&self, key: K, value: V) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let hash = self.hash(&key);
         let so_key = regular_key(hash);
         let bucket = self.bucket_for(hash, &guard);
@@ -337,7 +373,7 @@ where
     }
 
     fn remove(&self, key: &K) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let hash = self.hash(key);
         let so_key = regular_key(hash);
         let bucket = self.bucket_for(hash, &guard);
@@ -378,7 +414,7 @@ where
                 &guard,
             ) {
                 // SAFETY: unlinked by us.
-                Ok(_) => unsafe { guard.defer_destroy(curr) },
+                Ok(_) => unsafe { guard.retire(curr) },
                 Err(_) => {
                     let _ = self.find_from(bucket, so_key, Some(key), &guard);
                 }
@@ -388,7 +424,7 @@ where
     }
 
     fn get(&self, key: &K) -> Option<V> {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let hash = self.hash(key);
         let so_key = regular_key(hash);
         let bucket = self.bucket_for(hash, &guard);
@@ -407,9 +443,11 @@ where
     }
 }
 
-impl<K, V, S> Drop for SplitOrderedHashMap<K, V, S> {
+impl<K, V, S, R: Reclaimer> Drop for SplitOrderedHashMap<K, V, S, R> {
     fn drop(&mut self) {
-        // SAFETY: unique access.
+        // SAFETY: unique access; the unprotected guard is a pure load
+        // witness on every backend. Already-retired nodes are unreachable
+        // from the list head and are freed by the backend, not here.
         let guard = unsafe { Guard::unprotected() };
         // Free the whole list from the head dummy (bucket 0 of segment 0).
         let seg0 = self.segments[0].load(Ordering::Relaxed, &guard);
@@ -436,11 +474,12 @@ impl<K, V, S> Drop for SplitOrderedHashMap<K, V, S> {
     }
 }
 
-impl<K, V, S> fmt::Debug for SplitOrderedHashMap<K, V, S> {
+impl<K, V, S, R: Reclaimer> fmt::Debug for SplitOrderedHashMap<K, V, S, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SplitOrderedHashMap")
             .field("len", &self.size.load(Ordering::Relaxed))
             .field("buckets", &self.bucket_count.load(Ordering::Relaxed))
+            .field("reclaimer", &R::NAME)
             .finish()
     }
 }
@@ -520,6 +559,30 @@ mod tests {
         assert!(m.remove(&25));
         assert_eq!(m.get(&25), None);
         assert_eq!(m.len(), 49);
+    }
+
+    #[test]
+    fn map_semantics_on_every_backend() {
+        fn run<R: Reclaimer>() {
+            let m: SplitOrderedHashMap<u64, u64, RandomState, R> =
+                SplitOrderedHashMap::with_reclaimer();
+            for i in 0..512 {
+                assert!(m.insert(i, i * 2), "{} backend", R::NAME);
+            }
+            for i in (0..512).step_by(2) {
+                assert!(m.remove(&i), "{} backend", R::NAME);
+            }
+            for i in 0..512 {
+                let expect = if i % 2 == 1 { Some(i * 2) } else { None };
+                assert_eq!(m.get(&i), expect, "{} backend", R::NAME);
+            }
+            assert_eq!(m.len(), 256);
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<cds_reclaim::Hazard>();
+        run::<cds_reclaim::Leak>();
+        run::<cds_reclaim::DebugReclaim>();
     }
 
     #[test]

@@ -4,7 +4,11 @@ use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicIsize, Ordering};
 use std::sync::Arc;
 
-use cds_reclaim::epoch::{self, Atomic, Guard, Owned};
+use cds_reclaim::epoch::{Atomic, Guard, Owned};
+use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
+
+/// Hazard slot protecting the current buffer generation during a steal.
+const SLOT_BUFFER: usize = 0;
 
 /// A growable circular buffer of possibly-uninitialized elements.
 ///
@@ -60,9 +64,14 @@ impl<T> Buffer<T> {
 /// and not cloneable (owner operations are unsynchronized against each
 /// other); stealers clone freely.
 ///
-/// Buffer growth is handled with epoch reclamation: a thief may still be
-/// reading the old generation while the owner installs a doubled one, so
-/// the old buffer is deferred, not freed.
+/// The deque is generic over its reclamation backend `R`
+/// ([`cds_reclaim::Reclaimer`], default [`Ebr`]), which manages buffer
+/// generations: a thief may still be reading the old generation while the
+/// owner installs a doubled one, so the old buffer is retired, not freed.
+/// Only the steal path dereferences a buffer another thread may retire,
+/// so it is the only place needing per-pointer protection
+/// ([`ReclaimGuard::protect`]); the owner is the sole retirer and can
+/// never race itself.
 ///
 /// # Example
 ///
@@ -75,31 +84,41 @@ impl<T> Buffer<T> {
 /// assert_eq!(worker.pop(), Some(2));       // owner is LIFO
 /// assert_eq!(stealer.steal(), Steal::Success(1)); // thieves are FIFO
 /// ```
-pub struct ChaseLevDeque<T> {
+pub struct ChaseLevDeque<T, R: Reclaimer = Ebr> {
     /// Index one past the youngest element; written only by the owner.
     bottom: AtomicIsize,
     /// Index of the oldest element; CASed by thieves and the owner's
     /// last-element path.
     top: AtomicIsize,
     buffer: Atomic<Buffer<T>>,
+    _reclaimer: std::marker::PhantomData<R>,
 }
 
-// SAFETY: elements cross threads by move; buffer generations are epoch
-// managed.
-unsafe impl<T: Send> Send for ChaseLevDeque<T> {}
-unsafe impl<T: Send> Sync for ChaseLevDeque<T> {}
+// SAFETY: elements cross threads by move; buffer generations are managed
+// by the reclaimer.
+unsafe impl<T: Send, R: Reclaimer> Send for ChaseLevDeque<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for ChaseLevDeque<T, R> {}
 
 const INITIAL_CAPACITY: usize = 32;
 
 impl<T> ChaseLevDeque<T> {
-    /// Creates an empty deque, returning its unique [`Worker`] and a
-    /// cloneable [`Stealer`].
+    /// Creates an empty deque on the default ([`Ebr`]) backend, returning
+    /// its unique [`Worker`] and a cloneable [`Stealer`].
     #[allow(clippy::new_ret_no_self)]
     pub fn new() -> (Worker<T>, Stealer<T>) {
+        Self::with_reclaimer()
+    }
+}
+
+impl<T, R: Reclaimer> ChaseLevDeque<T, R> {
+    /// Creates an empty deque on the reclamation backend `R`.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn with_reclaimer() -> (Worker<T, R>, Stealer<T, R>) {
         let deque = Arc::new(ChaseLevDeque {
             bottom: AtomicIsize::new(0),
             top: AtomicIsize::new(0),
             buffer: Atomic::new(Buffer::new(INITIAL_CAPACITY)),
+            _reclaimer: std::marker::PhantomData,
         });
         (
             Worker {
@@ -118,7 +137,7 @@ impl<T> ChaseLevDeque<T> {
     }
 }
 
-impl<T> Drop for ChaseLevDeque<T> {
+impl<T, R: Reclaimer> Drop for ChaseLevDeque<T, R> {
     fn drop(&mut self) {
         // SAFETY: unique access.
         let guard = unsafe { Guard::unprotected() };
@@ -136,17 +155,18 @@ impl<T> Drop for ChaseLevDeque<T> {
     }
 }
 
-impl<T> fmt::Debug for ChaseLevDeque<T> {
+impl<T, R: Reclaimer> fmt::Debug for ChaseLevDeque<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ChaseLevDeque")
             .field("len", &self.len())
+            .field("reclaimer", &R::NAME)
             .finish()
     }
 }
 
 /// The owner handle of a [`ChaseLevDeque`]; not cloneable.
-pub struct Worker<T> {
-    deque: Arc<ChaseLevDeque<T>>,
+pub struct Worker<T, R: Reclaimer = Ebr> {
+    deque: Arc<ChaseLevDeque<T, R>>,
     /// Owner operations are unsynchronized against each other, so the
     /// worker must not be shared (`!Sync`).
     _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
@@ -154,16 +174,18 @@ pub struct Worker<T> {
 
 // SAFETY: the worker may migrate threads between operations; it just cannot
 // be used from two threads at once (no Sync).
-unsafe impl<T: Send> Send for Worker<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for Worker<T, R> {}
 
-impl<T> Worker<T> {
+impl<T, R: Reclaimer> Worker<T, R> {
     /// Pushes `value` at the bottom (owner end).
     pub fn push(&self, value: T) {
         let d = &*self.deque;
         cds_core::stress::yield_point();
         let b = d.bottom.load(Ordering::Relaxed);
         let t = d.top.load(Ordering::Acquire);
-        let guard = epoch::pin();
+        // Only the owner replaces and retires buffers, so its own loads
+        // need no protection; the guard is needed for `retire` below.
+        let guard = R::enter();
         let mut buf = d.buffer.load(Ordering::Relaxed, &guard);
 
         if b - t >= unsafe { buf.deref() }.capacity() as isize {
@@ -185,7 +207,7 @@ impl<T> Worker<T> {
             d.buffer.store(new, Ordering::Release);
             buf = new;
             // SAFETY: the old generation is unreachable for new loads.
-            unsafe { guard.defer_destroy(old) };
+            unsafe { guard.retire(old) };
         }
 
         // SAFETY: slot `b` is owned by the worker.
@@ -199,7 +221,9 @@ impl<T> Worker<T> {
     pub fn pop(&self) -> Option<T> {
         let d = &*self.deque;
         let b = d.bottom.load(Ordering::Relaxed) - 1;
-        let guard = epoch::pin();
+        // The owner is the only thread that retires buffers, so its own
+        // buffer load cannot race reclamation: a unit witness suffices.
+        let guard = ();
         let buf = d.buffer.load(Ordering::Relaxed, &guard);
         d.bottom.store(b, Ordering::Relaxed);
         cds_core::stress::yield_point();
@@ -247,7 +271,7 @@ impl<T> Worker<T> {
     }
 }
 
-impl<T> fmt::Debug for Worker<T> {
+impl<T, R: Reclaimer> fmt::Debug for Worker<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Worker").field("len", &self.len()).finish()
     }
@@ -265,11 +289,11 @@ pub enum Steal<T> {
 }
 
 /// A thief handle of a [`ChaseLevDeque`]; clone one per stealing thread.
-pub struct Stealer<T> {
-    deque: Arc<ChaseLevDeque<T>>,
+pub struct Stealer<T, R: Reclaimer = Ebr> {
+    deque: Arc<ChaseLevDeque<T, R>>,
 }
 
-impl<T> Clone for Stealer<T> {
+impl<T, R: Reclaimer> Clone for Stealer<T, R> {
     fn clone(&self) -> Self {
         Stealer {
             deque: Arc::clone(&self.deque),
@@ -277,7 +301,7 @@ impl<T> Clone for Stealer<T> {
     }
 }
 
-impl<T> Stealer<T> {
+impl<T, R: Reclaimer> Stealer<T, R> {
     /// Attempts to steal the oldest element (FIFO end).
     pub fn steal(&self) -> Steal<T> {
         let d = &*self.deque;
@@ -290,8 +314,12 @@ impl<T> Stealer<T> {
         if t >= b {
             return Steal::Empty;
         }
-        let guard = epoch::pin();
-        let buf = d.buffer.load(Ordering::Acquire, &guard);
+        let guard = R::enter();
+        // Protect-validate: the owner may retire this generation while we
+        // read from it. A stale-but-alive generation is fine — growth
+        // copies the live range, so index `t` is present in every
+        // generation the hazard can pin.
+        let buf = guard.protect(SLOT_BUFFER, &d.buffer, Ordering::Acquire);
         // SAFETY: the element at `t` was live when bottom was read; the
         // bitwise copy is only kept if the CAS below confirms ownership.
         let value = unsafe { buf.deref().read(t) };
@@ -317,7 +345,7 @@ impl<T> Stealer<T> {
     }
 }
 
-impl<T> fmt::Debug for Stealer<T> {
+impl<T, R: Reclaimer> fmt::Debug for Stealer<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Stealer").field("len", &self.len()).finish()
     }
@@ -370,6 +398,28 @@ mod tests {
             drop(w.pop());
         }
         assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn push_pop_steal_on_every_backend() {
+        fn run<R: Reclaimer>() {
+            let (w, s) = ChaseLevDeque::<u64, R>::with_reclaimer();
+            // Push past the initial capacity so buffers get retired.
+            for i in 0..1000 {
+                w.push(i);
+            }
+            assert_eq!(s.steal(), Steal::Success(0), "{} backend", R::NAME);
+            for i in (2..1000).rev() {
+                assert_eq!(w.pop(), Some(i), "{} backend", R::NAME);
+            }
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), None);
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<cds_reclaim::Hazard>();
+        run::<cds_reclaim::Leak>();
+        run::<cds_reclaim::DebugReclaim>();
     }
 
     #[test]

@@ -1,9 +1,11 @@
 use std::fmt;
+use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering;
 
 use cds_core::ConcurrentQueue;
-use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
+use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
 use cds_sync::Backoff;
 
 struct Node<T> {
@@ -14,6 +16,11 @@ struct Node<T> {
     next: Atomic<Node<T>>,
 }
 
+/// Hazard slot for the node an operation anchors on (head or tail).
+const SLOT_ANCHOR: usize = 0;
+/// Hazard slot for the anchor's successor (dequeue only).
+const SLOT_NEXT: usize = 1;
+
 /// The Michael–Scott lock-free queue (PODC '96).
 ///
 /// The algorithm behind `java.util.concurrent.ConcurrentLinkedQueue`: a
@@ -23,7 +30,16 @@ struct Node<T> {
 /// makes the queue lock-free: a stalled enqueuer cannot block others,
 /// because the next operation finishes its tail swing for it.
 ///
-/// Unlinked nodes go to the epoch collector ([`cds_reclaim::epoch`]).
+/// The queue is generic over its reclamation backend `R`
+/// ([`cds_reclaim::Reclaimer`], default [`Ebr`]) and follows the
+/// **per-pointer** discipline from Michael's hazard-pointer paper (2004):
+/// each operation protects the node it anchors on (tail for enqueue, head
+/// for dequeue), and dequeue additionally publishes protection for the
+/// successor and re-validates that the head has not moved before touching
+/// it. Two invariants make the unprotected CASes safe: a retired node's
+/// `next` is non-null and never returns to null (so a stale enqueue CAS
+/// fails), and retired nodes are never re-linked (so a successful
+/// head/tail CAS proves the anchor was still linked).
 ///
 /// # Example
 ///
@@ -36,18 +52,26 @@ struct Node<T> {
 /// q.enqueue(2);
 /// assert_eq!(q.dequeue(), Some(1));
 /// ```
-pub struct MsQueue<T> {
+pub struct MsQueue<T, R: Reclaimer = Ebr> {
     head: Atomic<Node<T>>,
     tail: Atomic<Node<T>>,
+    _reclaimer: PhantomData<R>,
 }
 
 // SAFETY: values move across threads (enqueue on one, dequeue on another).
-unsafe impl<T: Send> Send for MsQueue<T> {}
-unsafe impl<T: Send> Sync for MsQueue<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for MsQueue<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for MsQueue<T, R> {}
 
 impl<T> MsQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default ([`Ebr`]) backend.
     pub fn new() -> Self {
+        Self::with_reclaimer()
+    }
+}
+
+impl<T, R: Reclaimer> MsQueue<T, R> {
+    /// Creates an empty queue on the reclamation backend `R`.
+    pub fn with_reclaimer() -> Self {
         // The permanent sentinel; its value is never initialized.
         let sentinel = Owned::new(Node {
             value: MaybeUninit::uninit(),
@@ -59,13 +83,14 @@ impl<T> MsQueue<T> {
         let q = MsQueue {
             head: Atomic::null(),
             tail: Atomic::null(),
+            _reclaimer: PhantomData,
         };
         q.head.store(sentinel, Ordering::Relaxed);
         q.tail.store(sentinel, Ordering::Relaxed);
         q
     }
 
-    fn enqueue_internal(&self, value: T, guard: &Guard) {
+    fn enqueue_internal<G: ReclaimGuard>(&self, value: T, guard: &G) {
         let node = Owned::new(Node {
             value: MaybeUninit::new(value),
             next: Atomic::null(),
@@ -74,12 +99,14 @@ impl<T> MsQueue<T> {
         let backoff = Backoff::new();
         loop {
             cds_core::stress::yield_point();
-            let tail = self.tail.load(Ordering::Acquire, guard);
-            // SAFETY: pinned; tail is never freed before head passes it.
+            // Protect-validate the tail before dereferencing it.
+            let tail = guard.protect(SLOT_ANCHOR, &self.tail, Ordering::Acquire);
+            // SAFETY: protected above; the tail is never null.
             let t = unsafe { tail.deref() };
             let next = t.next.load(Ordering::Acquire, guard);
             if !next.is_null() {
-                // Tail is lagging: help swing it and retry.
+                // Tail is lagging: help swing it and retry. `next` is not
+                // dereferenced, so it needs no protection.
                 let _ = self.tail.compare_exchange(
                     tail,
                     next,
@@ -89,6 +116,9 @@ impl<T> MsQueue<T> {
                 );
                 continue;
             }
+            // Even if `t` was dequeued after the protect, its `next` became
+            // non-null before retirement and never returns to null, so this
+            // CAS can only succeed while `t` is the live tail.
             if t.next
                 .compare_exchange(
                     Shared::null(),
@@ -113,14 +143,25 @@ impl<T> MsQueue<T> {
         }
     }
 
-    fn dequeue_internal(&self, guard: &Guard) -> Option<T> {
+    fn dequeue_internal<G: ReclaimGuard>(&self, guard: &G) -> Option<T> {
         let backoff = Backoff::new();
         loop {
             cds_core::stress::yield_point();
-            let head = self.head.load(Ordering::Acquire, guard);
-            // SAFETY: pinned.
+            // Protect-validate the head before dereferencing it.
+            let head = guard.protect(SLOT_ANCHOR, &self.head, Ordering::Acquire);
+            // SAFETY: protected above; the head is never null.
             let h = unsafe { head.deref() };
             let next = h.next.load(Ordering::Acquire, guard);
+            // Publish protection for the successor, then re-validate that
+            // the head has not moved: at that instant the successor was
+            // still linked (a node is only retired after the head passes
+            // it), so the already-published hazard keeps it alive.
+            let next = guard.protect_ptr(SLOT_NEXT, next);
+            if self.head.load(Ordering::Acquire, guard) != head {
+                backoff.spin();
+                continue;
+            }
+            // SAFETY: protected + re-validated above.
             let next_ref = unsafe { next.as_ref() }?;
             // If the tail is still on the sentinel, help it forward so it
             // never lags behind the head.
@@ -141,10 +182,10 @@ impl<T> MsQueue<T> {
             {
                 // SAFETY: winning the head CAS gives us unique rights to
                 // `next`'s value (it becomes the new sentinel); the old
-                // sentinel may still be read by peers, so defer it.
+                // sentinel may still be read by peers, so retire it.
                 unsafe {
                     let value = next_ref.value.assume_init_read();
-                    guard.defer_destroy(head);
+                    guard.retire(head);
                     return Some(value);
                 }
             }
@@ -153,29 +194,29 @@ impl<T> MsQueue<T> {
     }
 }
 
-impl<T> Default for MsQueue<T> {
+impl<T, R: Reclaimer> Default for MsQueue<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<T: Send + 'static> ConcurrentQueue<T> for MsQueue<T> {
+impl<T: Send + 'static, R: Reclaimer> ConcurrentQueue<T> for MsQueue<T, R> {
     const NAME: &'static str = "ms";
 
     fn enqueue(&self, value: T) {
-        let guard = epoch::pin();
+        let guard = R::enter();
         self.enqueue_internal(value, &guard);
     }
 
     fn dequeue(&self) -> Option<T> {
-        let guard = epoch::pin();
+        let guard = R::enter();
         self.dequeue_internal(&guard)
     }
 
     fn is_empty(&self) -> bool {
-        let guard = epoch::pin();
-        let head = self.head.load(Ordering::Acquire, &guard);
-        // SAFETY: pinned.
+        let guard = R::enter();
+        let head = guard.protect(SLOT_ANCHOR, &self.head, Ordering::Acquire);
+        // SAFETY: protected above.
         unsafe { head.deref() }
             .next
             .load(Ordering::Acquire, &guard)
@@ -183,9 +224,12 @@ impl<T: Send + 'static> ConcurrentQueue<T> for MsQueue<T> {
     }
 }
 
-impl<T> Drop for MsQueue<T> {
+impl<T, R: Reclaimer> Drop for MsQueue<T, R> {
     fn drop(&mut self) {
-        // SAFETY: `&mut self`: unique access.
+        // SAFETY: `&mut self`: unique access; the unprotected guard is a
+        // pure load witness on every backend. Nodes already retired
+        // through `R` are unreachable from `head` and are freed by the
+        // backend, not here.
         let guard = unsafe { Guard::unprotected() };
         // The first node is the sentinel: free it without touching its value.
         let mut cur = self.head.load(Ordering::Relaxed, &guard);
@@ -204,9 +248,11 @@ impl<T> Drop for MsQueue<T> {
     }
 }
 
-impl<T> fmt::Debug for MsQueue<T> {
+impl<T, R: Reclaimer> fmt::Debug for MsQueue<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MsQueue").finish_non_exhaustive()
+        f.debug_struct("MsQueue")
+            .field("reclaimer", &R::NAME)
+            .finish_non_exhaustive()
     }
 }
 
@@ -222,7 +268,7 @@ impl<T: Send + 'static> FromIterator<T> for MsQueue<T> {
     }
 }
 
-impl<T: Send + 'static> Extend<T> for MsQueue<T> {
+impl<T: Send + 'static, R: Reclaimer> Extend<T> for MsQueue<T, R> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         for v in iter {
             self.enqueue(v);
@@ -233,6 +279,7 @@ impl<T: Send + 'static> Extend<T> for MsQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cds_reclaim::{DebugReclaim, Hazard, Leak};
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
@@ -247,6 +294,25 @@ mod tests {
             assert_eq!(q.dequeue(), Some(i));
         }
         assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn fifo_on_every_backend() {
+        fn run<R: Reclaimer>() {
+            let q: MsQueue<u64, R> = MsQueue::with_reclaimer();
+            for i in 0..100 {
+                q.enqueue(i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.dequeue(), Some(i), "{} backend", R::NAME);
+            }
+            assert_eq!(q.dequeue(), None);
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<Hazard>();
+        run::<Leak>();
+        run::<DebugReclaim>();
     }
 
     #[test]
@@ -273,7 +339,16 @@ mod tests {
 
     #[test]
     fn mpmc_stress() {
-        let q = Arc::new(MsQueue::new());
+        mpmc_stress_on::<Ebr>();
+    }
+
+    #[test]
+    fn mpmc_stress_hazard_backend() {
+        mpmc_stress_on::<Hazard>();
+    }
+
+    fn mpmc_stress_on<R: Reclaimer>() {
+        let q: Arc<MsQueue<usize, R>> = Arc::new(MsQueue::with_reclaimer());
         let consumed = Arc::new(AtomicUsize::new(0));
         const N: usize = 1_000;
         let producers: Vec<_> = (0..2)

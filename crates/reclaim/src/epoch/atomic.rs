@@ -1,11 +1,17 @@
-//! Tagged atomic pointers whose targets are protected by epoch pinning.
+//! Tagged atomic pointers whose targets are protected by a reclamation
+//! guard.
+//!
+//! The guard parameter on every load-like method is a pure *lifetime
+//! witness*: any guard type works (the epoch [`Guard`](super::Guard), a
+//! hazard-pointer guard, the debug backend's guard, …), and the returned
+//! [`Shared`] borrows it so shared nodes cannot outlive the protection
+//! scope. Which guard actually makes the dereference sound is the
+//! [`Reclaimer`](crate::Reclaimer) backend's contract.
 
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use super::Guard;
 
 /// Returns the bitmask of tag bits available for `T` (its alignment − 1).
 #[inline]
@@ -72,8 +78,9 @@ impl<T> Atomic<T> {
         Owned::new(value).into()
     }
 
-    /// Loads the pointer.
-    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    /// Loads the pointer. `_guard` is any reclamation guard, used purely
+    /// as a lifetime witness.
+    pub fn load<'g, G>(&self, ord: Ordering, _guard: &'g G) -> Shared<'g, T> {
         Shared::from_data(self.data.load(ord))
     }
 
@@ -83,7 +90,7 @@ impl<T> Atomic<T> {
     }
 
     /// Stores `new`, returning the previous value.
-    pub fn swap<'g>(&self, new: Shared<'_, T>, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    pub fn swap<'g, G>(&self, new: Shared<'_, T>, ord: Ordering, _guard: &'g G) -> Shared<'g, T> {
         Shared::from_data(self.data.swap(new.data, ord))
     }
 
@@ -91,13 +98,13 @@ impl<T> Atomic<T> {
     ///
     /// On failure returns the actual value observed. Both the pointer and
     /// the tag participate in the comparison.
-    pub fn compare_exchange<'g>(
+    pub fn compare_exchange<'g, G>(
         &self,
         current: Shared<'_, T>,
         new: Shared<'_, T>,
         success: Ordering,
         failure: Ordering,
-        _guard: &'g Guard,
+        _guard: &'g G,
     ) -> Result<Shared<'g, T>, Shared<'g, T>> {
         match self
             .data
@@ -112,7 +119,7 @@ impl<T> Atomic<T> {
     ///
     /// This is how logical-deletion marks are set atomically without
     /// replacing the pointer.
-    pub fn fetch_or<'g>(&self, tag: usize, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    pub fn fetch_or<'g, G>(&self, tag: usize, ord: Ordering, _guard: &'g G) -> Shared<'g, T> {
         Shared::from_data(self.data.fetch_or(tag & tag_mask::<T>(), ord))
     }
 
@@ -198,8 +205,8 @@ impl<T> Owned<T> {
         self
     }
 
-    /// Publishes the pointer into the epoch-protected world.
-    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+    /// Publishes the pointer into the guard-protected world.
+    pub fn into_shared<'g, G>(self, _guard: &'g G) -> Shared<'g, T> {
         let data = self.data;
         std::mem::forget(self);
         Shared::from_data(data)

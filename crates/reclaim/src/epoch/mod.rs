@@ -210,7 +210,7 @@ impl fmt::Debug for Guard {
     }
 }
 
-fn default_collector() -> &'static Collector {
+pub(crate) fn default_collector() -> &'static Collector {
     static DEFAULT: OnceLock<Collector> = OnceLock::new();
     DEFAULT.get_or_init(Collector::new)
 }

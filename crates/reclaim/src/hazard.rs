@@ -31,19 +31,26 @@
 use std::collections::HashSet;
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// How many retired nodes accumulate before a scan is attempted.
-const SCAN_THRESHOLD: usize = 64;
+pub const SCAN_THRESHOLD: usize = 64;
 
 /// One published hazard slot. Lives in the domain's intrusive slot list for
 /// the domain's lifetime; slots are recycled, never freed, so scanning
 /// threads can traverse the list without further synchronization.
+///
+/// A slot carries either a protected *address* (classic hazard pointer) or
+/// a published *era* (hazard-era-style blanket protection) depending on
+/// which handle type owns it; the unused field stays 0.
 struct Slot {
     /// The protected address (0 when none).
     hazard: AtomicUsize,
-    /// Whether some `HazardPointer` currently owns this slot.
+    /// The published era (0 when none). A retired node stamped with era
+    /// `e` is unreclaimable while any slot publishes an era `<= e`.
+    era: AtomicU64,
+    /// Whether some `HazardPointer` or `Era` currently owns this slot.
     active: AtomicBool,
     /// Next slot in the domain's list.
     next: AtomicPtr<Slot>,
@@ -52,6 +59,9 @@ struct Slot {
 struct Retired {
     ptr: *mut u8,
     dtor: unsafe fn(*mut u8),
+    /// Era-clock value at retirement; era-based guards entered at or
+    /// before this value hold the node back.
+    stamp: u64,
 }
 
 // SAFETY: retirement requires `T: Send` (see `Domain::retire`), so running
@@ -68,6 +78,9 @@ pub struct Domain {
     retired: Mutex<Vec<Retired>>,
     /// Approximate retired count, to trigger scans without locking.
     retired_count: AtomicUsize,
+    /// Monotonic era clock: bumped on every retirement, snapshotted by
+    /// era-based guards. Starts at 1 so era 0 can mean "none published".
+    era_clock: AtomicU64,
 }
 
 // SAFETY: all shared state is atomics or mutex-protected.
@@ -81,6 +94,7 @@ impl Domain {
             head: AtomicPtr::new(ptr::null_mut()),
             retired: Mutex::new(Vec::new()),
             retired_count: AtomicUsize::new(0),
+            era_clock: AtomicU64::new(1),
         }
     }
 
@@ -104,6 +118,7 @@ impl Domain {
         // Second pass: push a fresh slot (Treiber-style).
         let slot = Box::into_raw(Box::new(Slot {
             hazard: AtomicUsize::new(0),
+            era: AtomicU64::new(0),
             active: AtomicBool::new(true),
             next: AtomicPtr::new(ptr::null_mut()),
         }));
@@ -136,9 +151,15 @@ impl Domain {
             unsafe { drop(Box::from_raw(p.cast::<T>())) }
         }
         debug_assert!(!ptr.is_null());
+        // Stamp with the pre-bump clock value: any era guard that entered
+        // before this retirement observed a clock value <= stamp and so
+        // holds the node back; guards entering afterwards read > stamp and
+        // (per the retire contract) can no longer reach the node.
+        let stamp = self.era_clock.fetch_add(1, Ordering::SeqCst);
         self.retired.lock().unwrap().push(Retired {
             ptr: ptr.cast(),
             dtor: dtor::<T>,
+            stamp,
         });
         let n = self.retired_count.fetch_add(1, Ordering::Relaxed) + 1;
         if n >= SCAN_THRESHOLD {
@@ -153,8 +174,9 @@ impl Domain {
         // Retirement (unlinking) happens-before this scan's hazard reads.
         fence(Ordering::SeqCst);
 
-        // Snapshot all active hazards.
+        // Snapshot all active hazards and the minimum published era.
         let mut protected: HashSet<usize> = HashSet::new();
+        let mut min_era: Option<u64> = None;
         let mut cur = self.head.load(Ordering::Acquire);
         while !cur.is_null() {
             // SAFETY: slots live as long as the domain.
@@ -163,20 +185,26 @@ impl Domain {
             if h != 0 {
                 protected.insert(h);
             }
+            let e = slot.era.load(Ordering::Acquire);
+            if e != 0 {
+                min_era = Some(min_era.map_or(e, |m: u64| m.min(e)));
+            }
             cur = slot.next.load(Ordering::Acquire);
         }
 
-        // Free unprotected retirees.
+        // Free retirees covered by neither an address hazard nor an era.
         let to_free: Vec<Retired> = {
             let mut retired = self.retired.lock().unwrap();
             let mut to_free = Vec::new();
             retired.retain_mut(|r| {
-                if protected.contains(&(r.ptr as usize)) {
+                let era_held = min_era.is_some_and(|m| m <= r.stamp);
+                if era_held || protected.contains(&(r.ptr as usize)) {
                     true
                 } else {
                     to_free.push(Retired {
                         ptr: r.ptr,
                         dtor: r.dtor,
+                        stamp: r.stamp,
                     });
                     false
                 }
@@ -186,8 +214,9 @@ impl Domain {
         };
         let n = to_free.len();
         for r in to_free {
-            // SAFETY: no hazard covers `r.ptr`, and retire's contract says
-            // no new protection can begin (the node is unlinked).
+            // SAFETY: no hazard covers `r.ptr`, no era guard predates its
+            // retirement, and retire's contract says no new protection can
+            // begin (the node is unlinked).
             unsafe { (r.dtor)(r.ptr) };
         }
         n
@@ -196,6 +225,34 @@ impl Domain {
     /// Number of nodes awaiting reclamation (diagnostics).
     pub fn retired_len(&self) -> usize {
         self.retired.lock().unwrap().len()
+    }
+
+    /// Publishes an era-based blanket protection (hazard-era style).
+    ///
+    /// While the returned [`Era`] is alive, no node retired *at or after*
+    /// the era's entry point can be reclaimed by [`scan`](Domain::scan) —
+    /// the per-timestamp analogue of an epoch pin, built on the same slot
+    /// list as address hazards. Traversal-heavy structures whose algorithms
+    /// cannot publish per-pointer hazards (no mark bits on the traversed
+    /// fields, helper dereferences after operation completion, …) use this
+    /// mode; see the `Reclaimer` docs for the soundness contract.
+    pub fn enter_era(&self) -> Era<'_> {
+        let slot = self.acquire_slot();
+        let era = self.era_clock.load(Ordering::SeqCst);
+        // SAFETY: slots live as long as the domain, which `self` borrows.
+        unsafe { (*slot).era.store(era, Ordering::Relaxed) };
+        // Publish the era before the owner loads any structure pointers;
+        // pairs with the SeqCst fence in `scan`.
+        fence(Ordering::SeqCst);
+        Era {
+            slot,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Current era-clock value (diagnostics and tests).
+    pub fn era_clock(&self) -> u64 {
+        self.era_clock.load(Ordering::SeqCst)
     }
 }
 
@@ -302,6 +359,41 @@ impl Drop for HazardPointer<'_> {
         let slot = self.slot();
         slot.hazard.store(0, Ordering::Release);
         slot.active.store(false, Ordering::Release);
+    }
+}
+
+/// An active era-based blanket protection (see [`Domain::enter_era`]).
+///
+/// Dropping the handle retracts the era and recycles the slot.
+pub struct Era<'d> {
+    slot: *const Slot,
+    // Ties the borrow to the domain: slots live as long as it does.
+    _marker: std::marker::PhantomData<&'d Domain>,
+}
+
+impl Era<'_> {
+    fn slot(&self) -> &Slot {
+        // SAFETY: slots live as long as the domain, which `'d` outlives.
+        unsafe { &*self.slot }
+    }
+
+    /// The era value this guard published.
+    pub fn era(&self) -> u64 {
+        self.slot().era.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Era<'_> {
+    fn drop(&mut self) {
+        let slot = self.slot();
+        slot.era.store(0, Ordering::Release);
+        slot.active.store(false, Ordering::Release);
+    }
+}
+
+impl fmt::Debug for Era<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Era").field("era", &self.era()).finish()
     }
 }
 

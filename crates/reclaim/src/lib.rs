@@ -21,12 +21,18 @@
 //! The trade-off between the two is measured head-to-head by experiment
 //! E10 of the benchmark suite (`cargo bench -p cds-bench --bench reclaim`).
 //!
-//! # Which one should a data structure use?
+//! # The backend-generic interface
 //!
-//! The lock-free structures in this family default to [`epoch`] (as do
-//! crossbeam and java.util.concurrent's analogous designs); the
-//! hazard-pointer variant of the Treiber stack (`cds-stack`) exists to
-//! exercise and compare the [`hazard`] API.
+//! Structures do not pick a scheme; they are generic over the
+//! [`Reclaimer`] trait (default [`Ebr`]), so one implementation compiles
+//! against four backends:
+//!
+//! * [`Ebr`] — epoch pins from the process-wide default collector.
+//! * [`Hazard`] — hazard pointers (per-pointer publish-validate) plus
+//!   hazard *eras* for traversal structures, on a process-wide [`hazard::Domain`].
+//! * [`Leak`] — `retire` leaks; the reclamation-cost floor for E10.
+//! * [`DebugReclaim`] — a checker that quarantines retired nodes and
+//!   panics with thread ids on use-after-retire or double retire.
 //!
 //! # Example
 //!
@@ -51,3 +57,8 @@
 
 pub mod epoch;
 pub mod hazard;
+mod reclaimer;
+
+pub use reclaimer::{
+    DebugGuard, DebugReclaim, Ebr, Hazard, HazardGuard, Leak, LeakGuard, ReclaimGuard, Reclaimer,
+};

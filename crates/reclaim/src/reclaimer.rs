@@ -1,0 +1,678 @@
+//! The backend-generic reclamation interface: one trait pair that lets a
+//! lock-free structure compile against epochs, hazard pointers, a leaking
+//! no-op, or a use-after-retire-detecting debug backend.
+//!
+//! Following Meyer & Wolff ("Decoupling Lock-Free Data Structures from
+//! Memory Reclamation", 2018), the structure sees only a *guard* with
+//! three capabilities — protect a pointer before dereferencing it, retire
+//! an unlinked node, and (implicitly, by its lifetime) scope the
+//! protection — while the backend decides what those capabilities cost
+//! and what they guarantee:
+//!
+//! | backend | `enter` | `enter_blanket` | `retire` |
+//! |---|---|---|---|
+//! | [`Ebr`] | epoch pin | epoch pin | defer to collector |
+//! | [`Hazard`] | per-pointer hazards | published era | stamped retire + scan |
+//! | [`Leak`] | no-op | no-op | leak |
+//! | [`DebugReclaim`] | registry stamp | registry stamp | poison + quarantine |
+//!
+//! # The two protection modes
+//!
+//! [`Reclaimer::enter`] returns a guard for the **per-pointer** discipline:
+//! the structure promises that every pointer it dereferences went through
+//! [`ReclaimGuard::protect`] (publish-validate) or
+//! [`ReclaimGuard::protect_ptr`] plus a reachability re-validation. Under
+//! [`Hazard`] this is the classic Michael protocol with bounded garbage.
+//! The Treiber stack, Michael–Scott queue, and Chase–Lev deque use it.
+//!
+//! [`Reclaimer::enter_blanket`] returns a guard that protects *everything
+//! the operation can reach* for the guard's lifetime. Under [`Hazard`]
+//! this publishes an **era** (hazard-era style): a node retired at era `e`
+//! is unreclaimable while any guard entered at era `<= e` is live.
+//! Traversal structures whose algorithms cannot publish per-pointer
+//! hazards use this mode — the Harris–Michael list and split-ordered map
+//! (unlink targets are reached through fields that freeze only on the
+//! *predecessor*, so a per-location validate cannot cover restarts through
+//! marked chains without an algorithm redesign), the lock-free skiplist
+//! (same, per level), and the Ellen et al. BST (child pointers carry no
+//! mark bits and helpers dereference descriptor-held raw pointers after
+//! the operation completes — per-pointer hazards are insufficient by
+//! design; see Brown, "Reclaiming memory for lock-free data structures",
+//! 2015).
+//!
+//! # The soundness contract (all backends)
+//!
+//! `retire` may only be called on a node that is **unreachable to
+//! operations that begin afterwards**: every path from the structure's
+//! roots to the node was severed before the call. This is exactly the
+//! contract epoch-based reclamation already imposes, which is why one
+//! structure implementation can serve every backend. Blanket guards rely
+//! on it directly (a guard entered after the retire can never reach the
+//! node, so holding back only nodes retired during live guards is
+//! enough); per-pointer guards rely on it through the publish-validate
+//! step (a validated pointer is currently reachable, hence not retired).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::ThreadId;
+
+use crate::epoch::{self, Atomic, Shared};
+use crate::hazard::{Domain, Era, HazardPointer};
+
+/// A reclamation backend, used as a type-level tag on generic structures
+/// (`TreiberStack<T, R: Reclaimer>` and friends).
+pub trait Reclaimer: Send + Sync + 'static {
+    /// The guard handed to one structure operation.
+    type Guard: ReclaimGuard;
+
+    /// Short name for benchmarks and test-matrix labels.
+    const NAME: &'static str;
+
+    /// Enters a per-pointer protected section: the caller promises every
+    /// dereferenced pointer goes through [`ReclaimGuard::protect`] /
+    /// [`ReclaimGuard::protect_ptr`] with re-validation.
+    fn enter() -> Self::Guard;
+
+    /// Enters a blanket-protected section: everything reachable during
+    /// the guard's lifetime stays alive (epoch pin / published era).
+    fn enter_blanket() -> Self::Guard;
+
+    /// Best-effort reclamation drain, for tests and benchmarks that want
+    /// deterministic accounting; never required for correctness.
+    fn collect();
+
+    /// Number of retired-but-unreclaimed nodes the backend currently
+    /// holds (diagnostics; 0 where the notion does not apply).
+    fn retired_backlog() -> usize {
+        0
+    }
+}
+
+/// One operation's reclamation capability: protect, retire, and (via the
+/// guard's lifetime) scope.
+pub trait ReclaimGuard: Sized {
+    /// Loads the pointer in `src` and protects the pointee until the guard
+    /// ends (or the same `slot` is reused).
+    ///
+    /// Per-pointer backends publish the address in hazard slot `slot` and
+    /// re-validate `src` until both agree, so the returned pointer was
+    /// reachable *after* the hazard became visible; blanket backends just
+    /// load. Distinct concurrently-needed pointers must use distinct
+    /// `slot` indices.
+    fn protect<'g, T>(&'g self, slot: usize, src: &Atomic<T>, ord: Ordering) -> Shared<'g, T>;
+
+    /// Publishes protection for an already-loaded pointer without
+    /// validating any source.
+    ///
+    /// The caller must re-validate reachability afterwards (e.g. re-read
+    /// the originating atomic) before dereferencing — the usual
+    /// hazard-pointer protocol for pointers read out of protected nodes.
+    fn protect_ptr<'g, T>(&'g self, slot: usize, ptr: Shared<'_, T>) -> Shared<'g, T>;
+
+    /// Hands an unlinked node to the backend for eventual destruction.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be non-null, allocated via [`Owned`](crate::epoch::Owned)
+    /// / [`Atomic::new`], unreachable to operations that begin after this
+    /// call, retired exactly once, and safe to drop on any thread (morally
+    /// `T: Send`; not expressed as a bound because node types routinely
+    /// contain raw pointers managed by the same protocol).
+    unsafe fn retire<T>(&self, ptr: Shared<'_, T>);
+}
+
+/// Rebinds a `Shared` to a new guard lifetime (backend-internal).
+fn rebind<'g, T>(ptr: Shared<'_, T>) -> Shared<'g, T> {
+    Shared::from_raw(ptr.as_raw()).with_tag(ptr.tag())
+}
+
+// ---------------------------------------------------------------------------
+// EBR backend
+// ---------------------------------------------------------------------------
+
+/// Epoch-based reclamation on the process-wide default collector — the
+/// default backend for every structure (cheapest reads, unbounded garbage
+/// under a stalled pin).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ebr;
+
+impl Reclaimer for Ebr {
+    type Guard = epoch::Guard;
+    const NAME: &'static str = "ebr";
+
+    fn enter() -> epoch::Guard {
+        epoch::pin()
+    }
+
+    fn enter_blanket() -> epoch::Guard {
+        epoch::pin()
+    }
+
+    fn collect() {
+        epoch::pin().flush();
+    }
+
+    fn retired_backlog() -> usize {
+        epoch::default_collector().global_garbage_len()
+    }
+}
+
+impl ReclaimGuard for epoch::Guard {
+    fn protect<'g, T>(&'g self, _slot: usize, src: &Atomic<T>, ord: Ordering) -> Shared<'g, T> {
+        // The pin already protects everything reachable.
+        src.load(ord, self)
+    }
+
+    fn protect_ptr<'g, T>(&'g self, _slot: usize, ptr: Shared<'_, T>) -> Shared<'g, T> {
+        rebind(ptr)
+    }
+
+    unsafe fn retire<T>(&self, ptr: Shared<'_, T>) {
+        // SAFETY: forwarded contract.
+        unsafe { self.defer_destroy(ptr) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Leak backend
+// ---------------------------------------------------------------------------
+
+/// The no-reclamation floor: `retire` leaks. All of the algorithm, none of
+/// the reclamation cost — the lower-bound baseline for experiment E10.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Leak;
+
+/// Guard of the [`Leak`] backend; protection is vacuous because nothing is
+/// ever freed.
+#[derive(Debug)]
+pub struct LeakGuard(());
+
+impl Reclaimer for Leak {
+    type Guard = LeakGuard;
+    const NAME: &'static str = "leak";
+
+    fn enter() -> LeakGuard {
+        LeakGuard(())
+    }
+
+    fn enter_blanket() -> LeakGuard {
+        LeakGuard(())
+    }
+
+    fn collect() {}
+}
+
+impl ReclaimGuard for LeakGuard {
+    fn protect<'g, T>(&'g self, _slot: usize, src: &Atomic<T>, ord: Ordering) -> Shared<'g, T> {
+        src.load(ord, self)
+    }
+
+    fn protect_ptr<'g, T>(&'g self, _slot: usize, ptr: Shared<'_, T>) -> Shared<'g, T> {
+        rebind(ptr)
+    }
+
+    unsafe fn retire<T>(&self, _ptr: Shared<'_, T>) {
+        // Intentionally leaked: retired nodes are never freed, so every
+        // stale pointer stays valid forever.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hazard backend
+// ---------------------------------------------------------------------------
+
+/// Hazard-pointer reclamation on a process-wide [`Domain`]: per-pointer
+/// publish-validate protection in [`enter`](Reclaimer::enter) mode,
+/// published eras in [`enter_blanket`](Reclaimer::enter_blanket) mode.
+/// Bounded garbage under per-pointer mode even when threads stall.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hazard;
+
+impl Hazard {
+    /// The process-wide hazard domain backing this reclaimer.
+    pub fn domain() -> &'static Domain {
+        static DOMAIN: OnceLock<Domain> = OnceLock::new();
+        DOMAIN.get_or_init(Domain::new)
+    }
+}
+
+enum HazardMode {
+    /// Indexed hazard slots, acquired lazily on first use of each index.
+    PerPointer(RefCell<Vec<HazardPointer<'static>>>),
+    /// One published era covering the whole operation.
+    Blanket(#[allow(dead_code)] Era<'static>),
+}
+
+/// Guard of the [`Hazard`] backend.
+pub struct HazardGuard {
+    mode: HazardMode,
+}
+
+impl std::fmt::Debug for HazardGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mode = match &self.mode {
+            HazardMode::PerPointer(slots) => format!("per-pointer({})", slots.borrow().len()),
+            HazardMode::Blanket(_) => "blanket".to_string(),
+        };
+        f.debug_struct("HazardGuard").field("mode", &mode).finish()
+    }
+}
+
+impl Reclaimer for Hazard {
+    type Guard = HazardGuard;
+    const NAME: &'static str = "hazard";
+
+    fn enter() -> HazardGuard {
+        HazardGuard {
+            mode: HazardMode::PerPointer(RefCell::new(Vec::new())),
+        }
+    }
+
+    fn enter_blanket() -> HazardGuard {
+        HazardGuard {
+            mode: HazardMode::Blanket(Hazard::domain().enter_era()),
+        }
+    }
+
+    fn collect() {
+        Hazard::domain().scan();
+    }
+
+    fn retired_backlog() -> usize {
+        Hazard::domain().retired_len()
+    }
+}
+
+impl ReclaimGuard for HazardGuard {
+    fn protect<'g, T>(&'g self, slot: usize, src: &Atomic<T>, ord: Ordering) -> Shared<'g, T> {
+        match &self.mode {
+            // The era already covers everything this operation can reach.
+            HazardMode::Blanket(_) => src.load(ord, self),
+            HazardMode::PerPointer(slots) => {
+                let mut slots = slots.borrow_mut();
+                while slots.len() <= slot {
+                    slots.push(HazardPointer::new(Hazard::domain()));
+                }
+                // Publish-validate over the full tagged word: on return
+                // the hazard and the source agree, so the pointee was
+                // reachable after the hazard became visible to scans.
+                let mut cur = src.load(ord, self);
+                loop {
+                    slots[slot].protect_raw(cur.as_raw());
+                    let now = src.load(ord, self);
+                    if now == cur {
+                        return now;
+                    }
+                    cur = now;
+                }
+            }
+        }
+    }
+
+    fn protect_ptr<'g, T>(&'g self, slot: usize, ptr: Shared<'_, T>) -> Shared<'g, T> {
+        if let HazardMode::PerPointer(slots) = &self.mode {
+            let mut slots = slots.borrow_mut();
+            while slots.len() <= slot {
+                slots.push(HazardPointer::new(Hazard::domain()));
+            }
+            slots[slot].protect_raw(ptr.as_raw());
+        }
+        rebind(ptr)
+    }
+
+    unsafe fn retire<T>(&self, ptr: Shared<'_, T>) {
+        // SAFETY: forwarded contract; the domain stamps the node with the
+        // current era and scans hazards + eras before freeing.
+        unsafe { Hazard::domain().retire(ptr.as_raw()) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Debug backend
+// ---------------------------------------------------------------------------
+
+/// A reclamation *checker*: retired nodes are logically poisoned in a
+/// global registry and physically quarantined until no guard that could
+/// legally reach them is live. Any [`protect`](ReclaimGuard::protect) of a
+/// node retired **before** the accessing guard began — a use-after-retire
+/// that would be silent UB under a real backend — panics with the retiring
+/// and accessing thread ids, as does any double retire. Run structures
+/// under this backend inside the deterministic stress scheduler to turn
+/// reclamation protocol violations into reproducible test failures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DebugReclaim;
+
+struct DebugRetired {
+    addr: usize,
+    dtor: unsafe fn(*mut u8),
+}
+
+// SAFETY: retirement demands droppability on any thread (see the
+// `ReclaimGuard::retire` contract), so draining the quarantine from
+// whichever thread reaches it last is sound.
+unsafe impl Send for DebugRetired {}
+
+#[derive(Default)]
+struct DebugInner {
+    /// Logically poisoned addresses: retire stamp + retiring thread.
+    poisoned: HashMap<usize, (u64, ThreadId)>,
+    /// Nodes awaiting physical destruction.
+    quarantine: Vec<DebugRetired>,
+}
+
+struct DebugRegistry {
+    /// Total order over guard entries and retirements.
+    clock: AtomicU64,
+    /// Live guards; the quarantine drains when this reaches zero.
+    active: AtomicUsize,
+    inner: Mutex<DebugInner>,
+}
+
+fn debug_registry() -> &'static DebugRegistry {
+    static REGISTRY: OnceLock<DebugRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| DebugRegistry {
+        clock: AtomicU64::new(1),
+        active: AtomicUsize::new(0),
+        inner: Mutex::new(DebugInner::default()),
+    })
+}
+
+/// Drains the quarantine: frees every quarantined node and clears its
+/// poison entry. Sound even if guards enter concurrently — their entry
+/// stamps postdate every drained retirement, so (per the retire contract)
+/// they cannot reach the freed nodes.
+fn debug_drain(reg: &'static DebugRegistry) {
+    let drained: Vec<DebugRetired> = {
+        let mut inner = reg.inner.lock().unwrap();
+        let q = std::mem::take(&mut inner.quarantine);
+        for r in &q {
+            inner.poisoned.remove(&r.addr);
+        }
+        q
+    };
+    for r in drained {
+        // SAFETY: retired exactly once (enforced above) and unreachable
+        // to every live and future guard.
+        unsafe { (r.dtor)(r.addr as *mut u8) };
+    }
+}
+
+/// Guard of the [`DebugReclaim`] backend; carries its entry stamp so
+/// accesses to earlier-retired nodes can be flagged.
+#[derive(Debug)]
+pub struct DebugGuard {
+    entered: u64,
+}
+
+impl DebugGuard {
+    /// Panics if `addr` was retired before this guard began.
+    fn check(&self, addr: usize) {
+        if addr == 0 {
+            return;
+        }
+        let reg = debug_registry();
+        let hit = reg.inner.lock().unwrap().poisoned.get(&addr).copied();
+        if let Some((stamp, by)) = hit {
+            if stamp < self.entered {
+                panic!(
+                    "use-after-retire: node {addr:#x} was retired by thread {by:?} \
+                     (stamp {stamp}) before the accessing guard of thread {:?} began \
+                     (stamp {}); a real reclaimer could already have freed it",
+                    std::thread::current().id(),
+                    self.entered,
+                );
+            }
+        }
+    }
+}
+
+impl Reclaimer for DebugReclaim {
+    type Guard = DebugGuard;
+    const NAME: &'static str = "debug";
+
+    fn enter() -> DebugGuard {
+        let reg = debug_registry();
+        reg.active.fetch_add(1, Ordering::SeqCst);
+        DebugGuard {
+            entered: reg.clock.fetch_add(1, Ordering::SeqCst),
+        }
+    }
+
+    fn enter_blanket() -> DebugGuard {
+        Self::enter()
+    }
+
+    fn collect() {
+        let reg = debug_registry();
+        if reg.active.load(Ordering::SeqCst) == 0 {
+            debug_drain(reg);
+        }
+    }
+
+    fn retired_backlog() -> usize {
+        debug_registry().inner.lock().unwrap().quarantine.len()
+    }
+}
+
+impl Drop for DebugGuard {
+    fn drop(&mut self) {
+        let reg = debug_registry();
+        if reg.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            debug_drain(reg);
+        }
+    }
+}
+
+impl ReclaimGuard for DebugGuard {
+    fn protect<'g, T>(&'g self, _slot: usize, src: &Atomic<T>, ord: Ordering) -> Shared<'g, T> {
+        let ptr = src.load(ord, self);
+        self.check(ptr.as_raw() as usize);
+        ptr
+    }
+
+    fn protect_ptr<'g, T>(&'g self, _slot: usize, ptr: Shared<'_, T>) -> Shared<'g, T> {
+        self.check(ptr.as_raw() as usize);
+        rebind(ptr)
+    }
+
+    unsafe fn retire<T>(&self, ptr: Shared<'_, T>) {
+        unsafe fn dtor<T>(p: *mut u8) {
+            // SAFETY: constructed from `Box`-allocated `T` per the retire
+            // contract.
+            unsafe { drop(Box::from_raw(p.cast::<T>())) }
+        }
+        let addr = ptr.as_raw() as usize;
+        debug_assert_ne!(addr, 0, "retire of null");
+        let reg = debug_registry();
+        let stamp = reg.clock.fetch_add(1, Ordering::SeqCst);
+        let me = std::thread::current().id();
+        let mut inner = reg.inner.lock().unwrap();
+        if let Some(&(prev_stamp, prev_by)) = inner.poisoned.get(&addr) {
+            drop(inner);
+            panic!(
+                "double retire: node {addr:#x} was first retired by thread \
+                 {prev_by:?} (stamp {prev_stamp}) and retired again by thread \
+                 {me:?} (stamp {stamp})"
+            );
+        }
+        inner.poisoned.insert(addr, (stamp, me));
+        inner.quarantine.push(DebugRetired {
+            addr,
+            dtor: dtor::<T>,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    struct DropCounter(Arc<Counter>);
+
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn churn_one_slot<R: Reclaimer>() {
+        let drops = Arc::new(Counter::new(0));
+        let slot: Atomic<DropCounter> = Atomic::new(DropCounter(Arc::clone(&drops)));
+        for _ in 0..200 {
+            let guard = R::enter();
+            let fresh = crate::epoch::Owned::new(DropCounter(Arc::clone(&drops)));
+            let old = slot.swap(fresh.into_shared(&guard), Ordering::AcqRel, &guard);
+            // SAFETY: `old` was just unlinked and is retired exactly once.
+            unsafe { guard.retire(old) };
+        }
+        R::collect();
+        // SAFETY: unique access to the final value.
+        unsafe { drop(slot.into_owned()) };
+    }
+
+    #[test]
+    fn every_backend_survives_single_threaded_churn() {
+        churn_one_slot::<Ebr>();
+        churn_one_slot::<Hazard>();
+        churn_one_slot::<Leak>();
+        churn_one_slot::<DebugReclaim>();
+    }
+
+    #[test]
+    fn hazard_per_pointer_protect_blocks_reclamation() {
+        let drops = Arc::new(Counter::new(0));
+        let slot: Atomic<DropCounter> = Atomic::new(DropCounter(Arc::clone(&drops)));
+
+        let reader = Hazard::enter();
+        let protected = reader.protect(0, &slot, Ordering::Acquire);
+        assert!(!protected.is_null());
+
+        {
+            let writer = Hazard::enter();
+            let fresh = crate::epoch::Owned::new(DropCounter(Arc::clone(&drops)));
+            let old = slot.swap(fresh.into_shared(&writer), Ordering::AcqRel, &writer);
+            assert_eq!(old, rebind(protected));
+            // SAFETY: unlinked, retired once.
+            unsafe { writer.retire(old) };
+        }
+        for _ in 0..4 {
+            Hazard::collect();
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "scan freed a node protected by a published hazard"
+        );
+        // Reading through the protection must still be valid.
+        // SAFETY: protected above.
+        let _ = unsafe { protected.deref() };
+
+        drop(reader);
+        Hazard::collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // SAFETY: unique access.
+        unsafe { drop(slot.into_owned()) };
+    }
+
+    #[test]
+    fn hazard_blanket_era_blocks_nodes_retired_during_guard() {
+        let drops = Arc::new(Counter::new(0));
+        let slot: Atomic<DropCounter> = Atomic::new(DropCounter(Arc::clone(&drops)));
+
+        let reader = Hazard::enter_blanket();
+        {
+            let writer = Hazard::enter_blanket();
+            let fresh = crate::epoch::Owned::new(DropCounter(Arc::clone(&drops)));
+            let old = slot.swap(fresh.into_shared(&writer), Ordering::AcqRel, &writer);
+            // SAFETY: unlinked, retired once.
+            unsafe { writer.retire(old) };
+        }
+        for _ in 0..4 {
+            Hazard::collect();
+        }
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            0,
+            "scan freed a node retired during a live era guard"
+        );
+        drop(reader);
+        Hazard::collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        // SAFETY: unique access.
+        unsafe { drop(slot.into_owned()) };
+    }
+
+    #[test]
+    fn debug_backend_catches_use_after_retire() {
+        let stale_guard = DebugReclaim::enter();
+        let slot: Atomic<u64> = Atomic::new(7);
+        let stale = stale_guard.protect(0, &slot, Ordering::Acquire);
+        {
+            let retirer = DebugReclaim::enter();
+            let old = slot.swap(Shared::null(), Ordering::AcqRel, &retirer);
+            // SAFETY: unlinked, retired once.
+            unsafe { retirer.retire(old) };
+        }
+        // A guard that began *after* the retire must not touch the node.
+        let late_guard = DebugReclaim::enter();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            late_guard.protect_ptr(0, stale);
+        }))
+        .expect_err("use-after-retire must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string>".into());
+        assert!(msg.contains("use-after-retire"), "wrong message: {msg}");
+        assert!(msg.contains("retired by thread"), "wrong message: {msg}");
+        // The guard that predates the retire may still touch it (that is
+        // the entire point of deferred reclamation).
+        let revisit = stale_guard.protect_ptr(0, stale);
+        // SAFETY: quarantined, not freed (stale_guard is still live).
+        assert_eq!(unsafe { *revisit.deref() }, 7);
+        drop(late_guard);
+        drop(stale_guard);
+        DebugReclaim::collect();
+    }
+
+    #[test]
+    fn debug_backend_catches_double_retire() {
+        let guard = DebugReclaim::enter();
+        let slot: Atomic<u64> = Atomic::new(9);
+        let old = slot.swap(Shared::null(), Ordering::AcqRel, &guard);
+        // SAFETY: unlinked, first retire.
+        unsafe { guard.retire(old) };
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: intentionally violating the contract under the
+            // checking backend.
+            unsafe { guard.retire(old) };
+        }))
+        .expect_err("double retire must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string>".into());
+        assert!(msg.contains("double retire"), "wrong message: {msg}");
+        drop(guard);
+        DebugReclaim::collect();
+    }
+
+    #[test]
+    fn leak_backend_never_frees() {
+        let drops = Arc::new(Counter::new(0));
+        let slot: Atomic<DropCounter> = Atomic::new(DropCounter(Arc::clone(&drops)));
+        {
+            let guard = Leak::enter();
+            let old = slot.swap(Shared::null(), Ordering::AcqRel, &guard);
+            // SAFETY: unlinked (and deliberately leaked).
+            unsafe { guard.retire(old) };
+        }
+        Leak::collect();
+        assert_eq!(drops.load(Ordering::SeqCst), 0, "Leak backend freed a node");
+    }
+}

@@ -3,7 +3,8 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 
 use cds_core::{Bound, ConcurrentSet};
-use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
+use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
 use cds_sync::Backoff;
 
 use crate::level::random_level;
@@ -36,8 +37,12 @@ impl<T> Node<T> {
 ///
 /// ## Reclamation
 ///
-/// A node is handed to the epoch collector by the thread whose CAS unlinks
-/// it at **level 0**. This is safe because any traversal that reaches the
+/// The skiplist is generic over its reclamation backend `R`
+/// ([`cds_reclaim::Reclaimer`], default [`Ebr`]) and uses the **blanket**
+/// protection mode ([`Reclaimer::enter_blanket`]) — the per-level restart
+/// loops traverse marked towers no fixed hazard set can cover. A node is
+/// handed to the reclaimer by the thread whose CAS unlinks it at
+/// **level 0**. This is safe because any traversal that reaches the
 /// node's position at level 0 necessarily scanned (and snipped it from)
 /// every higher level of its tower first — once a level's unlink CAS
 /// succeeds the node can never be re-linked there — so the level-0
@@ -57,13 +62,14 @@ impl<T> Node<T> {
 /// s.insert(9);
 /// assert_eq!(s.remove_min(), Some(2));
 /// ```
-pub struct LockFreeSkipList<T> {
+pub struct LockFreeSkipList<T, R: Reclaimer = Ebr> {
     head: Atomic<Node<T>>,
+    _reclaimer: std::marker::PhantomData<R>,
 }
 
-// SAFETY: epoch-managed nodes; all mutation is CAS-based.
-unsafe impl<T: Send + Sync> Send for LockFreeSkipList<T> {}
-unsafe impl<T: Send + Sync> Sync for LockFreeSkipList<T> {}
+// SAFETY: reclaimer-managed nodes; all mutation is CAS-based.
+unsafe impl<T: Send + Sync, R: Reclaimer> Send for LockFreeSkipList<T, R> {}
+unsafe impl<T: Send + Sync, R: Reclaimer> Sync for LockFreeSkipList<T, R> {}
 
 type FindResult<'g, T> = (
     bool,
@@ -72,13 +78,21 @@ type FindResult<'g, T> = (
 );
 
 impl<T: Ord> LockFreeSkipList<T> {
-    /// Creates an empty set.
+    /// Creates an empty set on the default ([`Ebr`]) backend.
     pub fn new() -> Self {
+        Self::with_reclaimer()
+    }
+}
+
+impl<T: Ord, R: Reclaimer> LockFreeSkipList<T, R> {
+    /// Creates an empty set on the reclamation backend `R`.
+    pub fn with_reclaimer() -> Self {
         LockFreeSkipList {
             head: Atomic::new(Node {
                 key: Bound::NegInf,
                 next: (0..HEIGHT).map(|_| Atomic::null()).collect(),
             }),
+            _reclaimer: std::marker::PhantomData,
         }
     }
 
@@ -86,7 +100,7 @@ impl<T: Ord> LockFreeSkipList<T> {
     /// successors per level, snipping every marked node encountered.
     /// The thread whose CAS removes a node at level 0 retires it (see the
     /// type-level reclamation argument).
-    fn find<'g>(&self, key: &T, guard: &'g Guard) -> FindResult<'g, T> {
+    fn find<'g, G: ReclaimGuard>(&self, key: &T, guard: &'g G) -> FindResult<'g, T> {
         'retry: loop {
             cds_core::stress::yield_point();
             let mut preds = [Shared::null(); HEIGHT];
@@ -118,7 +132,7 @@ impl<T: Ord> LockFreeSkipList<T> {
                                 if l == 0 {
                                     // SAFETY: see type-level docs — at level
                                     // 0 the node is globally unreachable.
-                                    unsafe { guard.defer_destroy(curr) };
+                                    unsafe { guard.retire(curr) };
                                 }
                                 curr = next.with_tag(0);
                             }
@@ -152,7 +166,7 @@ impl<T: Ord> LockFreeSkipList<T> {
     where
         T: Clone,
     {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         // SAFETY: pinned; head never freed.
         let head = self.head.load(Ordering::Acquire, &guard);
         let mut curr = unsafe { head.deref() }.next[0]
@@ -223,7 +237,7 @@ impl<T: Ord> LockFreeSkipList<T> {
     where
         T: Clone,
     {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let mut out = Vec::new();
         // SAFETY: pinned.
         let head = self.head.load(Ordering::Acquire, &guard);
@@ -247,7 +261,7 @@ impl<T: Ord> LockFreeSkipList<T> {
     where
         T: Clone,
     {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         // SAFETY: pinned.
         let head = self.head.load(Ordering::Acquire, &guard);
         let mut curr = unsafe { head.deref() }.next[0]
@@ -264,17 +278,17 @@ impl<T: Ord> LockFreeSkipList<T> {
     }
 }
 
-impl<T: Ord> Default for LockFreeSkipList<T> {
+impl<T: Ord, R: Reclaimer> Default for LockFreeSkipList<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
+impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T, R> {
     const NAME: &'static str = "lock-free";
 
     fn insert(&self, value: T) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let backoff = Backoff::new();
         let top = random_level();
         let mut node = Owned::new(Node {
@@ -373,7 +387,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
     }
 
     fn remove(&self, value: &T) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let (found, _preds, succs) = self.find(value, &guard);
         if !found {
             return false;
@@ -431,7 +445,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
 
     fn contains(&self, value: &T) -> bool {
         // Read-only descent: skip marked nodes without snipping.
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let mut pred = self.head.load(Ordering::Acquire, &guard);
         for l in (0..HEIGHT).rev() {
             // SAFETY: pinned.
@@ -463,7 +477,7 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
     }
 
     fn len(&self) -> usize {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let mut n = 0;
         // SAFETY: pinned.
         let head = self.head.load(Ordering::Acquire, &guard);
@@ -481,10 +495,13 @@ impl<T: Ord + Send + Sync> ConcurrentSet<T> for LockFreeSkipList<T> {
     }
 }
 
-impl<T> Drop for LockFreeSkipList<T> {
+impl<T, R: Reclaimer> Drop for LockFreeSkipList<T, R> {
     fn drop(&mut self) {
         // SAFETY: unique access; the bottom level reaches every node
         // (including marked-but-unlinked ones, which are still chained).
+        // The unprotected guard is a pure load witness on every backend;
+        // level-0-snipped nodes were retired through `R` and are freed by
+        // the backend, not here.
         let guard = unsafe { Guard::unprotected() };
         let head = self.head.load(Ordering::Relaxed, &guard);
         // SAFETY: unique ownership.
@@ -501,9 +518,11 @@ impl<T> Drop for LockFreeSkipList<T> {
     }
 }
 
-impl<T> fmt::Debug for LockFreeSkipList<T> {
+impl<T, R: Reclaimer> fmt::Debug for LockFreeSkipList<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LockFreeSkipList").finish_non_exhaustive()
+        f.debug_struct("LockFreeSkipList")
+            .field("reclaimer", &R::NAME)
+            .finish_non_exhaustive()
     }
 }
 
@@ -518,7 +537,7 @@ impl<T: Ord + Send + Sync> FromIterator<T> for LockFreeSkipList<T> {
     }
 }
 
-impl<T: Ord + Send + Sync> Extend<T> for LockFreeSkipList<T> {
+impl<T: Ord + Send + Sync, R: Reclaimer> Extend<T> for LockFreeSkipList<T, R> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         for v in iter {
             self.insert(v);
@@ -555,6 +574,28 @@ mod tests {
         }
         s.remove(&7);
         assert_eq!(s.to_vec(), vec![1, 2, 4, 9]);
+    }
+
+    #[test]
+    fn set_and_remove_min_on_every_backend() {
+        fn run<R: Reclaimer>() {
+            let s: LockFreeSkipList<i64, R> = LockFreeSkipList::with_reclaimer();
+            for k in 0..128 {
+                assert!(s.insert(k), "{} backend", R::NAME);
+            }
+            for k in (0..128).step_by(2) {
+                assert!(s.remove(&k), "{} backend", R::NAME);
+            }
+            assert_eq!(s.remove_min(), Some(1), "{} backend", R::NAME);
+            for k in 0..128 {
+                assert_eq!(s.contains(&k), k % 2 == 1 && k != 1, "{} backend", R::NAME);
+            }
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<cds_reclaim::Hazard>();
+        run::<cds_reclaim::Leak>();
+        run::<cds_reclaim::DebugReclaim>();
     }
 
     #[test]

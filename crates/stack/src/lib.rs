@@ -6,11 +6,11 @@
 //! * [`CoarseStack`] — a `Vec` behind a mutex; the migration-friendly
 //!   baseline every other implementation is measured against.
 //! * [`TreiberStack`] — the classic lock-free stack (Treiber, 1986): a
-//!   single CAS on the head pointer per operation, with epoch-based
-//!   reclamation from `cds-reclaim`.
-//! * [`HpTreiberStack`] — the same algorithm protected by hazard pointers
-//!   instead of epochs, included to compare reclamation schemes
-//!   (experiment E10).
+//!   single CAS on the head pointer per operation, generic over the
+//!   reclamation backend (`TreiberStack<T, R: cds_reclaim::Reclaimer>`,
+//!   default epoch-based). Instantiate with [`cds_reclaim::Hazard`],
+//!   [`cds_reclaim::Leak`], or [`cds_reclaim::DebugReclaim`] to compare
+//!   reclamation schemes (experiment E10) or to check retire discipline.
 //! * [`FcStack`] — a flat-combining stack (Hendler et al., 2010): one
 //!   combiner thread services everyone's published operations per lock
 //!   acquisition.
@@ -40,13 +40,11 @@
 mod coarse;
 mod elimination;
 mod fc;
-mod hp_treiber;
 mod treiber;
 
 pub use coarse::CoarseStack;
 pub use elimination::{EliminationArray, EliminationBackoffStack};
 pub use fc::FcStack;
-pub use hp_treiber::HpTreiberStack;
 pub use treiber::TreiberStack;
 
 #[cfg(test)]
@@ -117,7 +115,9 @@ mod tests {
     fn all_implementations_are_lifo() {
         lifo_when_sequential::<CoarseStack<u32>>();
         lifo_when_sequential::<TreiberStack<u32>>();
-        lifo_when_sequential::<HpTreiberStack<u32>>();
+        lifo_when_sequential::<TreiberStack<u32, cds_reclaim::Hazard>>();
+        lifo_when_sequential::<TreiberStack<u32, cds_reclaim::Leak>>();
+        lifo_when_sequential::<TreiberStack<u32, cds_reclaim::DebugReclaim>>();
         lifo_when_sequential::<EliminationBackoffStack<u32>>();
         lifo_when_sequential::<FcStack<u32>>();
     }
@@ -126,7 +126,8 @@ mod tests {
     fn no_element_lost_or_duplicated_under_contention() {
         no_loss_no_duplication::<CoarseStack<u64>>();
         no_loss_no_duplication::<TreiberStack<u64>>();
-        no_loss_no_duplication::<HpTreiberStack<u64>>();
+        no_loss_no_duplication::<TreiberStack<u64, cds_reclaim::Hazard>>();
+        no_loss_no_duplication::<TreiberStack<u64, cds_reclaim::DebugReclaim>>();
         no_loss_no_duplication::<EliminationBackoffStack<u64>>();
         no_loss_no_duplication::<FcStack<u64>>();
     }

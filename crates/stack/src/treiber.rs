@@ -1,10 +1,12 @@
 use std::fmt;
+use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
 use std::ptr;
 use std::sync::atomic::Ordering;
 
 use cds_core::ConcurrentStack;
-use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
+use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
 use cds_sync::Backoff;
 
 struct Node<T> {
@@ -14,6 +16,9 @@ struct Node<T> {
     next: Atomic<Node<T>>,
 }
 
+/// Hazard slot protecting the head node during `pop`.
+const SLOT_HEAD: usize = 0;
+
 /// The Treiber lock-free stack (R. K. Treiber, 1986).
 ///
 /// The head pointer is the single point of synchronization: `push` links a
@@ -22,10 +27,14 @@ struct Node<T> {
 /// number of steps — though an individual thread can starve under a
 /// perfectly adversarial schedule.
 ///
-/// Unlinked nodes are handed to the epoch collector
-/// ([`cds_reclaim::epoch`]) because a slow concurrent popper may still be
-/// reading them; see [`HpTreiberStack`](crate::HpTreiberStack) for the
-/// hazard-pointer variant.
+/// The stack is generic over its reclamation backend `R`
+/// ([`cds_reclaim::Reclaimer`], default [`Ebr`]) because a slow concurrent
+/// popper may still be reading unlinked nodes. It follows the
+/// **per-pointer** protection discipline: the only shared node an
+/// operation dereferences is the head, which `pop` protects with
+/// [`ReclaimGuard::protect`] before reading its `next` field (Michael's
+/// hazard-pointer protocol; a vacuous load under epochs). `push` never
+/// dereferences a shared node, so it needs no protection at all.
 ///
 /// # Example
 ///
@@ -40,27 +49,49 @@ struct Node<T> {
 /// assert_eq!(s.pop(), Some(10));
 /// assert_eq!(s.pop(), None);
 /// ```
-pub struct TreiberStack<T> {
+///
+/// Choosing a backend (here hazard pointers, for bounded garbage):
+///
+/// ```
+/// use cds_core::ConcurrentStack;
+/// use cds_reclaim::Hazard;
+/// use cds_stack::TreiberStack;
+///
+/// let s: TreiberStack<u64, Hazard> = TreiberStack::with_reclaimer();
+/// s.push(1);
+/// assert_eq!(s.pop(), Some(1));
+/// ```
+pub struct TreiberStack<T, R: Reclaimer = Ebr> {
     head: Atomic<Node<T>>,
+    _reclaimer: PhantomData<R>,
 }
 
 // SAFETY: values of type `T` cross threads (pushed on one, popped on
 // another), which is exactly `T: Send`. No `&T` is ever shared.
-unsafe impl<T: Send> Send for TreiberStack<T> {}
-unsafe impl<T: Send> Sync for TreiberStack<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for TreiberStack<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for TreiberStack<T, R> {}
 
 impl<T> TreiberStack<T> {
-    /// Creates an empty stack.
+    /// Creates an empty stack on the default ([`Ebr`]) backend.
     pub fn new() -> Self {
+        Self::with_reclaimer()
+    }
+}
+
+impl<T, R: Reclaimer> TreiberStack<T, R> {
+    /// Creates an empty stack on the reclamation backend `R`.
+    pub fn with_reclaimer() -> Self {
         TreiberStack {
             head: Atomic::null(),
+            _reclaimer: PhantomData,
         }
     }
 
-    fn push_node(&self, node: Shared<'_, Node<T>>, guard: &Guard) {
+    fn push_node<G: ReclaimGuard>(&self, node: Shared<'_, Node<T>>, guard: &G) {
         let backoff = Backoff::new();
         loop {
             cds_core::stress::yield_point();
+            // No protection: `head` is linked, never dereferenced.
             let head = self.head.load(Ordering::Relaxed, guard);
             // SAFETY: `node` is ours until the CAS below publishes it.
             unsafe { node.deref() }.next.store(head, Ordering::Relaxed);
@@ -80,7 +111,7 @@ impl<T> TreiberStack<T> {
     /// Used by the elimination-backoff stack to interleave CAS attempts
     /// with elimination rounds.
     pub(crate) fn try_push(&self, value: T) -> Result<(), T> {
-        let guard = epoch::pin();
+        let guard = R::enter();
         let node = Owned::new(Node {
             value: ManuallyDrop::new(value),
             next: Atomic::null(),
@@ -106,9 +137,11 @@ impl<T> TreiberStack<T> {
     /// Attempts a single pop CAS. `Ok(None)` means the stack was empty;
     /// `Err(())` means the CAS lost a race.
     pub(crate) fn try_pop(&self) -> Result<Option<T>, ()> {
-        let guard = epoch::pin();
-        let head = self.head.load(Ordering::Acquire, &guard);
-        // SAFETY: pinned.
+        let guard = R::enter();
+        // Protect-validate: on return the hazard covers `head` and the
+        // stack still reached it, so the node cannot be freed under us.
+        let head = guard.protect(SLOT_HEAD, &self.head, Ordering::Acquire);
+        // SAFETY: protected above.
         let node = match unsafe { head.as_ref() } {
             None => return Ok(None),
             Some(n) => n,
@@ -122,7 +155,7 @@ impl<T> TreiberStack<T> {
                 // SAFETY: as in `pop_node`.
                 unsafe {
                     let value = ptr::read(&*node.value);
-                    guard.defer_destroy(head);
+                    guard.retire(head);
                     Ok(Some(value))
                 }
             }
@@ -130,13 +163,18 @@ impl<T> TreiberStack<T> {
         }
     }
 
-    fn pop_node(&self, guard: &Guard) -> Option<T> {
+    fn pop_node<G: ReclaimGuard>(&self, guard: &G) -> Option<T> {
         let backoff = Backoff::new();
         loop {
             cds_core::stress::yield_point();
-            let head = self.head.load(Ordering::Acquire, guard);
-            // SAFETY: the guard pins the epoch, so `head` cannot have been
-            // freed; it was allocated by `push`.
+            // Protect-validate the head before dereferencing it. `next` is
+            // written once before the node is published and never again,
+            // so reading it through the protected node cannot be stale:
+            // if the unlink CAS below succeeds, the node was still the
+            // head (retired nodes are never re-linked, and the hazard
+            // keeps its address from being reused).
+            let head = guard.protect(SLOT_HEAD, &self.head, Ordering::Acquire);
+            // SAFETY: protected above; it was allocated by `push`.
             let node = unsafe { head.as_ref() }?;
             let next = node.next.load(Ordering::Relaxed, guard);
             if self
@@ -146,10 +184,10 @@ impl<T> TreiberStack<T> {
             {
                 // SAFETY: winning the CAS makes us the unique owner of the
                 // value; the node itself may still be read by concurrent
-                // poppers, so its destruction is deferred.
+                // poppers, so its destruction goes through the reclaimer.
                 unsafe {
                     let value = ptr::read(&*node.value);
-                    guard.defer_destroy(head);
+                    guard.retire(head);
                     return Some(value);
                 }
             }
@@ -158,17 +196,17 @@ impl<T> TreiberStack<T> {
     }
 }
 
-impl<T> Default for TreiberStack<T> {
+impl<T, R: Reclaimer> Default for TreiberStack<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<T: Send + 'static> ConcurrentStack<T> for TreiberStack<T> {
+impl<T: Send + 'static, R: Reclaimer> ConcurrentStack<T> for TreiberStack<T, R> {
     const NAME: &'static str = "treiber";
 
     fn push(&self, value: T) {
-        let guard = epoch::pin();
+        let guard = R::enter();
         let node = Owned::new(Node {
             value: ManuallyDrop::new(value),
             next: Atomic::null(),
@@ -178,19 +216,23 @@ impl<T: Send + 'static> ConcurrentStack<T> for TreiberStack<T> {
     }
 
     fn pop(&self) -> Option<T> {
-        let guard = epoch::pin();
+        let guard = R::enter();
         self.pop_node(&guard)
     }
 
     fn is_empty(&self) -> bool {
-        let guard = epoch::pin();
-        self.head.load(Ordering::Acquire, &guard).is_null()
+        // A null check never dereferences, so a unit load witness is
+        // enough on every backend.
+        self.head.load(Ordering::Acquire, &()).is_null()
     }
 }
 
-impl<T> Drop for TreiberStack<T> {
+impl<T, R: Reclaimer> Drop for TreiberStack<T, R> {
     fn drop(&mut self) {
-        // SAFETY: `&mut self` — no concurrent access, so no pinning needed.
+        // SAFETY: `&mut self` — no concurrent access, so no protection is
+        // needed on any backend; the unprotected guard is a pure load
+        // witness. Nodes already retired through `R` are unreachable from
+        // `head` and are freed by the backend, not here.
         let guard = unsafe { Guard::unprotected() };
         let mut cur = self.head.load(Ordering::Relaxed, &guard);
         while !cur.is_null() {
@@ -205,10 +247,12 @@ impl<T> Drop for TreiberStack<T> {
     }
 }
 
-impl<T> fmt::Debug for TreiberStack<T> {
+impl<T, R: Reclaimer> fmt::Debug for TreiberStack<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Walking the list here would require pinning; report presence only.
-        f.debug_struct("TreiberStack").finish_non_exhaustive()
+        f.debug_struct("TreiberStack")
+            .field("reclaimer", &R::NAME)
+            .finish_non_exhaustive()
     }
 }
 
@@ -224,7 +268,7 @@ impl<T: Send + 'static> FromIterator<T> for TreiberStack<T> {
     }
 }
 
-impl<T: Send + 'static> Extend<T> for TreiberStack<T> {
+impl<T: Send + 'static, R: Reclaimer> Extend<T> for TreiberStack<T, R> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         for v in iter {
             self.push(v);
@@ -235,6 +279,7 @@ impl<T: Send + 'static> Extend<T> for TreiberStack<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cds_reclaim::{DebugReclaim, Hazard, Leak};
     use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
     use std::sync::Arc;
 
@@ -244,6 +289,25 @@ mod tests {
         s.push(String::from("x"));
         assert_eq!(s.pop().as_deref(), Some("x"));
         assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn round_trip_on_every_backend() {
+        fn run<R: Reclaimer>() {
+            let s: TreiberStack<u64, R> = TreiberStack::with_reclaimer();
+            for i in 0..100 {
+                s.push(i);
+            }
+            for i in (0..100).rev() {
+                assert_eq!(s.pop(), Some(i), "{} backend", R::NAME);
+            }
+            assert_eq!(s.pop(), None);
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<Hazard>();
+        run::<Leak>();
+        run::<DebugReclaim>();
     }
 
     #[test]
@@ -294,5 +358,27 @@ mod tests {
         // in the stack; drain whatever remains.
         while s.pop().is_some() {}
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_hazard_backend_churn() {
+        let s: Arc<TreiberStack<usize, Hazard>> = Arc::new(TreiberStack::with_reclaimer());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500usize {
+                        s.push(i);
+                        s.pop();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        while s.pop().is_some() {}
+        assert!(s.is_empty());
+        Hazard::collect();
     }
 }

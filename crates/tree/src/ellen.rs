@@ -3,7 +3,8 @@ use std::fmt;
 use std::sync::atomic::Ordering;
 
 use cds_core::ConcurrentSet;
-use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};
+use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
+use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
 use cds_sync::Backoff;
 
 use crate::TreeKey;
@@ -68,8 +69,17 @@ enum Info<T> {
 ///   the sibling), then unflags. If marking fails, the delete backs off,
 ///   unflagging the grandparent.
 ///
-/// Spliced nodes and superseded descriptors go to the epoch collector.
-/// `T: Clone` because routing nodes need their own copy of a key.
+/// Spliced nodes and superseded descriptors go to the reclamation
+/// backend `R` ([`cds_reclaim::Reclaimer`], default [`Ebr`]). The tree
+/// uses the **blanket** protection mode ([`Reclaimer::enter_blanket`]):
+/// child pointers carry no mark bits to validate against, and helpers
+/// dereference raw descriptor-held pointers even after the operation they
+/// help has completed — per-pointer hazards are insufficient by design
+/// (Brown 2015 discusses why such helping-based trees defeat plain
+/// hazard pointers), but any backend honoring the
+/// retired-means-unreachable-to-new-operations contract (epochs, eras)
+/// works unchanged. `T: Clone` because routing nodes need their own copy
+/// of a key.
 ///
 /// # Example
 ///
@@ -82,14 +92,16 @@ enum Info<T> {
 /// assert!(t.contains(&7));
 /// assert!(t.remove(&7));
 /// ```
-pub struct LockFreeBst<T> {
+pub struct LockFreeBst<T, R: Reclaimer = Ebr> {
     /// Root routing node (`Inf2`); never replaced or removed.
     root: Atomic<Node<T>>,
+    _reclaimer: std::marker::PhantomData<R>,
 }
 
-// SAFETY: epoch-managed nodes and descriptors; all mutation is CAS-based.
-unsafe impl<T: Send + Sync> Send for LockFreeBst<T> {}
-unsafe impl<T: Send + Sync> Sync for LockFreeBst<T> {}
+// SAFETY: reclaimer-managed nodes and descriptors; all mutation is
+// CAS-based.
+unsafe impl<T: Send + Sync, R: Reclaimer> Send for LockFreeBst<T, R> {}
+unsafe impl<T: Send + Sync, R: Reclaimer> Sync for LockFreeBst<T, R> {}
 
 struct SearchResult<'g, T> {
     gp: Shared<'g, Node<T>>,
@@ -100,8 +112,15 @@ struct SearchResult<'g, T> {
 }
 
 impl<T: Ord + Clone> LockFreeBst<T> {
-    /// Creates an empty set.
+    /// Creates an empty set on the default ([`Ebr`]) backend.
     pub fn new() -> Self {
+        Self::with_reclaimer()
+    }
+}
+
+impl<T: Ord + Clone, R: Reclaimer> LockFreeBst<T, R> {
+    /// Creates an empty set on the reclamation backend `R`.
+    pub fn with_reclaimer() -> Self {
         let left = Owned::new(Node {
             key: TreeKey::Inf1,
             inner: None,
@@ -119,6 +138,7 @@ impl<T: Ord + Clone> LockFreeBst<T> {
                     right: Atomic::from(right),
                 }),
             }),
+            _reclaimer: std::marker::PhantomData,
         }
     }
 
@@ -128,7 +148,7 @@ impl<T: Ord + Clone> LockFreeBst<T> {
 
     /// Descends from the root to a leaf, recording the last two internal
     /// nodes and their update words.
-    fn search<'g>(&self, key: &T, guard: &'g Guard) -> SearchResult<'g, T> {
+    fn search<'g, G: ReclaimGuard>(&self, key: &T, guard: &'g G) -> SearchResult<'g, T> {
         let mut gp = Shared::null();
         let mut gpupdate = Shared::null();
         let mut p = Shared::null();
@@ -162,11 +182,11 @@ impl<T: Ord + Clone> LockFreeBst<T> {
     ///
     /// The side is determined by `old`'s (immutable) key, so helpers always
     /// target the same slot; exactly one CAS per transition succeeds.
-    fn cas_child(
+    fn cas_child<G: ReclaimGuard>(
         parent: *mut Node<T>,
         old: Shared<'_, Node<T>>,
         new: Shared<'_, Node<T>>,
-        guard: &Guard,
+        guard: &G,
     ) -> bool {
         // SAFETY: `parent` is flagged by the operation this call helps, so
         // it cannot be freed; pinned.
@@ -183,7 +203,7 @@ impl<T: Ord + Clone> LockFreeBst<T> {
     }
 
     /// Helps whatever operation the update word `word` describes.
-    fn help(&self, word: Shared<'_, Info<T>>, guard: &Guard) {
+    fn help<G: ReclaimGuard>(&self, word: Shared<'_, Info<T>>, guard: &G) {
         match word.tag() {
             IFLAG => self.help_insert(word.with_tag(0), guard),
             MARK => self.help_marked(word.with_tag(0), guard),
@@ -195,7 +215,7 @@ impl<T: Ord + Clone> LockFreeBst<T> {
     }
 
     /// Completes a flagged insert: swing the child, then unflag.
-    fn help_insert(&self, op: Shared<'_, Info<T>>, guard: &Guard) {
+    fn help_insert<G: ReclaimGuard>(&self, op: Shared<'_, Info<T>>, guard: &G) {
         // SAFETY: `op` was published in an update word; descriptors are
         // epoch-managed.
         let Info::Insert { p, new_internal, l } = (unsafe { op.deref() }) else {
@@ -223,7 +243,7 @@ impl<T: Ord + Clone> LockFreeBst<T> {
 
     /// Tries to complete a flagged delete: mark the parent, then splice.
     /// Returns `false` if the mark failed and the delete was aborted.
-    fn help_delete(&self, op: Shared<'_, Info<T>>, guard: &Guard) -> bool {
+    fn help_delete<G: ReclaimGuard>(&self, op: Shared<'_, Info<T>>, guard: &G) -> bool {
         // SAFETY: as in `help_insert`.
         let Info::Delete {
             gp,
@@ -276,7 +296,7 @@ impl<T: Ord + Clone> LockFreeBst<T> {
     }
 
     /// Completes a delete whose parent is marked: splice and unflag.
-    fn help_marked(&self, op: Shared<'_, Info<T>>, guard: &Guard) {
+    fn help_marked<G: ReclaimGuard>(&self, op: Shared<'_, Info<T>>, guard: &G) {
         // SAFETY: as in `help_insert`.
         let Info::Delete { gp, p, l, .. } = (unsafe { op.deref() }) else {
             unreachable!("Mark word must hold a Delete descriptor");
@@ -294,8 +314,8 @@ impl<T: Ord + Clone> LockFreeBst<T> {
             // SAFETY: we performed the splice: `p` and `l` are now
             // unreachable from the root; defer them exactly once.
             unsafe {
-                guard.defer_destroy(Shared::from_raw(*p));
-                guard.defer_destroy(Shared::from_raw(*l));
+                guard.retire(Shared::from_raw(*p));
+                guard.retire(Shared::from_raw(*l));
             }
         }
         // Unflag gp.
@@ -317,29 +337,29 @@ impl<T: Ord + Clone> LockFreeBst<T> {
     ///
     /// `old` must have just been displaced from an update word by a CAS
     /// performed by the caller, with `old.tag() == CLEAN`.
-    unsafe fn retire_displaced(old: Shared<'_, Info<T>>, guard: &Guard) {
+    unsafe fn retire_displaced<G: ReclaimGuard>(old: Shared<'_, Info<T>>, guard: &G) {
         if !old.is_null() {
             debug_assert_eq!(old.tag(), CLEAN);
             // SAFETY: a Clean descriptor is reachable only through the word
             // it was just displaced from (see module reasoning: committed
             // Delete descriptors also sit in the Mark word of their spliced
             // — hence unreachable — parent), so no new thread can find it.
-            unsafe { guard.defer_destroy(old.with_tag(0)) };
+            unsafe { guard.retire(old.with_tag(0)) };
         }
     }
 }
 
-impl<T: Ord + Clone> Default for LockFreeBst<T> {
+impl<T: Ord + Clone, R: Reclaimer> Default for LockFreeBst<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::with_reclaimer()
     }
 }
 
-impl<T: Ord + Clone + Send + Sync> ConcurrentSet<T> for LockFreeBst<T> {
+impl<T: Ord + Clone + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeBst<T, R> {
     const NAME: &'static str = "ellen";
 
     fn insert(&self, value: T) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let backoff = Backoff::new();
         let mut value_slot = Some(value);
         loop {
@@ -429,7 +449,7 @@ impl<T: Ord + Clone + Send + Sync> ConcurrentSet<T> for LockFreeBst<T> {
     }
 
     fn remove(&self, value: &T) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let backoff = Backoff::new();
         loop {
             cds_core::stress::yield_point();
@@ -487,14 +507,14 @@ impl<T: Ord + Clone + Send + Sync> ConcurrentSet<T> for LockFreeBst<T> {
     }
 
     fn contains(&self, value: &T) -> bool {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let s = self.search(value, &guard);
         // SAFETY: pinned.
         unsafe { s.l.deref() }.key.cmp_key(value) == CmpOrdering::Equal
     }
 
     fn len(&self) -> usize {
-        let guard = epoch::pin();
+        let guard = R::enter_blanket();
         let mut n = 0;
         let mut stack = vec![self.root.load(Ordering::Acquire, &guard)];
         while let Some(node) = stack.pop() {
@@ -512,9 +532,12 @@ impl<T: Ord + Clone + Send + Sync> ConcurrentSet<T> for LockFreeBst<T> {
     }
 }
 
-impl<T> Drop for LockFreeBst<T> {
+impl<T, R: Reclaimer> Drop for LockFreeBst<T, R> {
     fn drop(&mut self) {
-        // SAFETY: unique access.
+        // SAFETY: unique access; the unprotected guard is a pure load
+        // witness on every backend. Spliced-out nodes and displaced
+        // descriptors were retired through `R` and are freed by the
+        // backend, not here.
         let guard = unsafe { Guard::unprotected() };
         let mut stack = vec![self.root.load(Ordering::Relaxed, &guard)];
         while let Some(node) = stack.pop() {
@@ -539,9 +562,11 @@ impl<T> Drop for LockFreeBst<T> {
     }
 }
 
-impl<T> fmt::Debug for LockFreeBst<T> {
+impl<T, R: Reclaimer> fmt::Debug for LockFreeBst<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LockFreeBst").finish_non_exhaustive()
+        f.debug_struct("LockFreeBst")
+            .field("reclaimer", &R::NAME)
+            .finish_non_exhaustive()
     }
 }
 
@@ -572,6 +597,28 @@ mod tests {
             assert!(!t.contains(&k));
         }
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn set_semantics_on_every_backend() {
+        fn run<R: Reclaimer>() {
+            let t: LockFreeBst<i64, R> = LockFreeBst::with_reclaimer();
+            for k in 0..64 {
+                assert!(t.insert(k), "{} backend", R::NAME);
+            }
+            for k in (0..64).step_by(2) {
+                assert!(t.remove(&k), "{} backend", R::NAME);
+            }
+            for k in 0..64 {
+                assert_eq!(t.contains(&k), k % 2 == 1, "{} backend", R::NAME);
+            }
+            assert_eq!(t.len(), 32);
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<cds_reclaim::Hazard>();
+        run::<cds_reclaim::Leak>();
+        run::<cds_reclaim::DebugReclaim>();
     }
 
     #[test]

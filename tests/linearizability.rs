@@ -364,7 +364,8 @@ fn quiescent_counters_converge() {
 fn stacks_are_linearizable() {
     check_stack::<cds_stack::CoarseStack<u64>>();
     check_stack::<cds_stack::TreiberStack<u64>>();
-    check_stack::<cds_stack::HpTreiberStack<u64>>();
+    check_stack::<cds_stack::TreiberStack<u64, cds_reclaim::Hazard>>();
+    check_stack::<cds_stack::TreiberStack<u64, cds_reclaim::DebugReclaim>>();
     check_stack::<cds_stack::EliminationBackoffStack<u64>>();
     check_stack::<cds_stack::FcStack<u64>>();
 }

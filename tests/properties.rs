@@ -102,7 +102,8 @@ fn stacks_match_vec() {
     forall_vec(&Config::new(64, 200), gen, |ops: &[Option<u32>]| {
         check::<cds_stack::CoarseStack<u32>>(ops);
         check::<cds_stack::TreiberStack<u32>>(ops);
-        check::<cds_stack::HpTreiberStack<u32>>(ops);
+        check::<cds_stack::TreiberStack<u32, cds_reclaim::Hazard>>(ops);
+        check::<cds_stack::TreiberStack<u32, cds_reclaim::DebugReclaim>>(ops);
         check::<cds_stack::EliminationBackoffStack<u32>>(ops);
         check::<cds_stack::FcStack<u32>>(ops);
     });

@@ -1,0 +1,306 @@
+//! Cross-backend lincheck matrix: every lock-free structure instantiated
+//! under every reclamation backend — epoch-based ([`cds_reclaim::Ebr`]),
+//! hazard pointers ([`cds_reclaim::Hazard`]), the leaking floor
+//! ([`cds_reclaim::Leak`]), and the use-after-retire checker
+//! ([`cds_reclaim::DebugReclaim`]) — and run through the deterministic
+//! scheduled-stress harness with pinned seeds.
+//!
+//! Two distinct properties ride on one run. Linearizability of each
+//! recorded window proves the *algorithm* is backend-independent (the
+//! `Reclaimer` abstraction did not change behavior), and surviving
+//! `DebugReclaim` proves the *retire discipline* holds: any access to a
+//! node retired before the accessing guard began panics with both thread
+//! ids, which the harness reports with the round seed for replay.
+//!
+//! These tests build with the `stress` feature live, so every
+//! `cds_core::stress::yield_point()` in the structures is a real
+//! PCT-style preemption point; failures print a round seed that
+//! `cds_lincheck::stress::replay` (or `CDS_STRESS_SEED=<seed>`)
+//! reproduces deterministically.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashSet;
+
+use cds_core::{ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack};
+use cds_lincheck::specs::{
+    MapOp, MapRes, MapSpec, QueueOp, QueueRes, QueueSpec, SetOp, SetSpec, StackOp, StackRes,
+    StackSpec,
+};
+use cds_lincheck::stress::{stress, StressOptions};
+use cds_queue::Steal;
+use cds_reclaim::{DebugReclaim, Ebr, Hazard, Leak, Reclaimer};
+
+/// Per-cell pinned-seed options, unless `CDS_STRESS_SEED` overrides (the
+/// replay knob, same convention as `tests/schedules.rs`).
+fn opts(seed: u64) -> StressOptions {
+    let defaults = StressOptions::default(); // seed from env when set
+    StressOptions {
+        seed: if std::env::var_os("CDS_STRESS_SEED").is_some() {
+            defaults.seed
+        } else {
+            seed
+        },
+        rounds: 8,
+        ..defaults
+    }
+}
+
+/// Derives one pinned seed per (structure, backend) cell so every cell of
+/// the matrix replays independently.
+fn cell_seed<R: Reclaimer>(base: u64) -> u64 {
+    let backend_tag = R::NAME
+        .bytes()
+        .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+    base ^ (backend_tag << 16)
+}
+
+fn gen_stack(rng: &mut cds_core::stress::SplitMix64, t: usize) -> StackOp<u64> {
+    if rng.below(2) == 0 {
+        StackOp::Push((t as u64) << 8 | rng.below(16))
+    } else {
+        StackOp::Pop
+    }
+}
+
+fn gen_queue(rng: &mut cds_core::stress::SplitMix64, t: usize) -> QueueOp<u64> {
+    if rng.below(2) == 0 {
+        QueueOp::Enqueue((t as u64) << 8 | rng.below(16))
+    } else {
+        QueueOp::Dequeue
+    }
+}
+
+fn gen_set(rng: &mut cds_core::stress::SplitMix64, _t: usize) -> SetOp<u64> {
+    let k = rng.below(3); // few keys => real conflicts
+    match rng.below(3) {
+        0 => SetOp::Insert(k),
+        1 => SetOp::Remove(k),
+        _ => SetOp::Contains(k),
+    }
+}
+
+fn stress_stack_on<R: Reclaimer>(base: u64) {
+    stress(
+        StackSpec::<u64>::default(),
+        &opts(cell_seed::<R>(base)),
+        cds_stack::TreiberStack::<u64, R>::with_reclaimer,
+        gen_stack,
+        |s, op| match op {
+            StackOp::Push(v) => {
+                s.push(*v);
+                StackRes::Pushed
+            }
+            StackOp::Pop => StackRes::Popped(s.pop()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("treiber stack under {} not linearizable: {f:?}", R::NAME));
+}
+
+fn stress_queue_on<R: Reclaimer>(base: u64) {
+    stress(
+        QueueSpec::<u64>::default(),
+        &opts(cell_seed::<R>(base)),
+        cds_queue::MsQueue::<u64, R>::with_reclaimer,
+        gen_queue,
+        |q, op| match op {
+            QueueOp::Enqueue(v) => {
+                q.enqueue(*v);
+                QueueRes::Enqueued
+            }
+            QueueOp::Dequeue => QueueRes::Dequeued(q.dequeue()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("ms queue under {} not linearizable: {f:?}", R::NAME));
+}
+
+fn stress_set_on<S, R>(base: u64, setup: fn() -> S, what: &str)
+where
+    S: ConcurrentSet<u64> + Sync,
+    R: Reclaimer,
+{
+    stress(
+        SetSpec::<u64>::default(),
+        &opts(cell_seed::<R>(base)),
+        setup,
+        gen_set,
+        |s, op| match op {
+            SetOp::Insert(k) => s.insert(*k),
+            SetOp::Remove(k) => s.remove(k),
+            SetOp::Contains(k) => s.contains(k),
+        },
+    )
+    .unwrap_or_else(|f| panic!("{what} under {} not linearizable: {f:?}", R::NAME));
+}
+
+fn stress_map_on<R: Reclaimer>(base: u64) {
+    stress(
+        MapSpec::<u64, u64>::default(),
+        &opts(cell_seed::<R>(base)),
+        cds_map::SplitOrderedHashMap::<u64, u64, RandomState, R>::with_reclaimer,
+        |rng, _t| {
+            let k = rng.below(3);
+            match rng.below(3) {
+                0 => MapOp::Insert(k, rng.below(100)),
+                1 => MapOp::Remove(k),
+                _ => MapOp::Get(k),
+            }
+        },
+        |m, op| match op {
+            MapOp::Insert(k, v) => MapRes::Changed(m.insert(*k, *v)),
+            MapOp::Remove(k) => MapRes::Changed(m.remove(k)),
+            MapOp::Get(k) => MapRes::Got(m.get(k)),
+        },
+    )
+    .unwrap_or_else(|f| {
+        panic!(
+            "split-ordered map under {} not linearizable: {f:?}",
+            R::NAME
+        )
+    });
+}
+
+/// The Chase–Lev deque has an owner-only `push`/`pop` API, so it cannot go
+/// through the symmetric-workers lincheck harness. Instead: one owner
+/// pushes a known value set and pops, stealers race `steal`, and every
+/// value must surface exactly once — no loss, no duplication, no invented
+/// values — deterministically seeded per backend.
+fn chase_lev_on<R: Reclaimer>(base: u64) {
+    const STEALERS: u64 = 3;
+    const PUSHES: u64 = 2_000;
+    let seed = cell_seed::<R>(base);
+    let (worker, stealer) = cds_queue::ChaseLevDeque::<u64, R>::with_reclaimer();
+    let mut popped: Vec<u64> = Vec::new();
+    let mut stolen: Vec<Vec<u64>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..STEALERS)
+            .map(|_t| {
+                let stealer = stealer.clone();
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut spins = 0u32;
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                spins = 0;
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                spins += 1;
+                                // Owner signals completion via a sentinel
+                                // count: quit after sustained emptiness.
+                                if spins > 10_000 {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        let mut rng = cds_core::stress::SplitMix64::new(seed);
+        for i in 0..PUSHES {
+            worker.push(i);
+            // Seeded interleaving: sometimes pop from the owner side so
+            // both ends of the deque (and the buffer-growth path) churn.
+            if rng.below(3) == 0 {
+                if let Some(v) = worker.pop() {
+                    popped.push(v);
+                }
+            }
+        }
+        while let Some(v) = worker.pop() {
+            popped.push(v);
+        }
+        for h in handles {
+            stolen.push(h.join().unwrap());
+        }
+    });
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    for v in popped.iter().chain(stolen.iter().flatten()) {
+        assert!(*v < PUSHES, "invented value {v} under {}", R::NAME);
+        assert!(seen.insert(*v), "duplicate value {v} under {}", R::NAME);
+    }
+    assert_eq!(seen.len() as u64, PUSHES, "lost values under {}", R::NAME);
+}
+
+#[test]
+fn treiber_stack_under_every_backend() {
+    stress_stack_on::<Ebr>(0x3a7a1c0);
+    stress_stack_on::<Hazard>(0x3a7a1c0);
+    stress_stack_on::<Leak>(0x3a7a1c0);
+    stress_stack_on::<DebugReclaim>(0x3a7a1c0);
+}
+
+#[test]
+fn ms_queue_under_every_backend() {
+    stress_queue_on::<Ebr>(0x3a7a1c1);
+    stress_queue_on::<Hazard>(0x3a7a1c1);
+    stress_queue_on::<Leak>(0x3a7a1c1);
+    stress_queue_on::<DebugReclaim>(0x3a7a1c1);
+}
+
+#[test]
+fn harris_michael_list_under_every_backend() {
+    fn one<R: Reclaimer>() {
+        stress_set_on::<_, R>(
+            0x3a7a1c2,
+            cds_list::HarrisMichaelList::<u64, R>::with_reclaimer,
+            "harris-michael list",
+        );
+    }
+    one::<Ebr>();
+    one::<Hazard>();
+    one::<Leak>();
+    one::<DebugReclaim>();
+}
+
+#[test]
+fn split_ordered_map_under_every_backend() {
+    stress_map_on::<Ebr>(0x3a7a1c3);
+    stress_map_on::<Hazard>(0x3a7a1c3);
+    stress_map_on::<Leak>(0x3a7a1c3);
+    stress_map_on::<DebugReclaim>(0x3a7a1c3);
+}
+
+#[test]
+fn lock_free_skiplist_under_every_backend() {
+    fn one<R: Reclaimer>() {
+        stress_set_on::<_, R>(
+            0x3a7a1c4,
+            cds_skiplist::LockFreeSkipList::<u64, R>::with_reclaimer,
+            "lock-free skiplist",
+        );
+    }
+    one::<Ebr>();
+    one::<Hazard>();
+    one::<Leak>();
+    one::<DebugReclaim>();
+}
+
+#[test]
+fn ellen_bst_under_every_backend() {
+    fn one<R: Reclaimer>() {
+        stress_set_on::<_, R>(
+            0x3a7a1c5,
+            cds_tree::LockFreeBst::<u64, R>::with_reclaimer,
+            "ellen bst",
+        );
+    }
+    one::<Ebr>();
+    one::<Hazard>();
+    one::<Leak>();
+    one::<DebugReclaim>();
+}
+
+#[test]
+fn chase_lev_deque_under_every_backend() {
+    chase_lev_on::<Ebr>(0x3a7a1c6);
+    chase_lev_on::<Hazard>(0x3a7a1c6);
+    chase_lev_on::<Leak>(0x3a7a1c6);
+    chase_lev_on::<DebugReclaim>(0x3a7a1c6);
+}

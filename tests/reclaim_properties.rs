@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use cds_lincheck::prop::{forall_vec, Config, Prng};
 use cds_reclaim::epoch::{Collector, Owned};
-use cds_reclaim::hazard::{Domain, HazardPointer};
+use cds_reclaim::hazard::{Domain, HazardPointer, SCAN_THRESHOLD};
 
 #[derive(Debug)]
 struct Counted(Arc<AtomicUsize>);
@@ -125,4 +125,134 @@ fn epoch_pins_hold_back_collection() {
         }
         assert_eq!(drops.load(Ordering::SeqCst), batch);
     }
+}
+
+/// Michael's bound: the retired-but-unreclaimed backlog never exceeds the
+/// number of published hazard slots plus the scan batch threshold. We
+/// retire a randomized stream of nodes (some protected, some not) and
+/// check the bound after every retire.
+#[test]
+fn retired_backlog_is_bounded_by_hazards_plus_batch() {
+    let gen = |rng: &mut Prng| rng.below(4) as u8;
+    forall_vec(&Config::new(32, 400), gen, |script: &[u8]| {
+        let domain = Domain::new();
+        let drops = Arc::new(AtomicUsize::new(0));
+
+        // A small fixed population of hazard slots, each either parked on
+        // a live decoy node or empty.
+        let decoys: Vec<AtomicPtr<Counted>> = (0..3)
+            .map(|_| AtomicPtr::new(Box::into_raw(Box::new(Counted(Arc::clone(&drops))))))
+            .collect();
+        let mut hazards: Vec<HazardPointer<'_>> = (0..decoys.len())
+            .map(|_| HazardPointer::new(&domain))
+            .collect();
+
+        for (i, step) in script.iter().enumerate() {
+            let slot = i % hazards.len();
+            match step {
+                0 => {
+                    hazards[slot].protect(&decoys[slot]);
+                }
+                1 => {
+                    hazards[slot].reset();
+                }
+                _ => {
+                    // Retire an unpublished throwaway node.
+                    let node = Box::into_raw(Box::new(Counted(Arc::clone(&drops))));
+                    // SAFETY: never published; retired exactly once.
+                    unsafe { domain.retire(node) };
+                }
+            }
+            assert!(
+                domain.retired_len() <= hazards.len() + SCAN_THRESHOLD,
+                "backlog {} exceeds H + batch = {}",
+                domain.retired_len(),
+                hazards.len() + SCAN_THRESHOLD
+            );
+        }
+
+        // Cleanup: decoys were never retired; free them directly.
+        hazards.clear();
+        for d in &decoys {
+            let p = d.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            // SAFETY: owned by this test, never retired.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    });
+}
+
+/// A node with a matching published hazard survives arbitrary decoy churn
+/// and explicit scans; the moment the hazard resets, one scan frees it.
+#[test]
+fn matching_hazard_blocks_reclamation() {
+    let domain = Domain::new();
+    let protected_drops = Arc::new(AtomicUsize::new(0));
+    let slot: AtomicPtr<Counted> = AtomicPtr::new(Box::into_raw(Box::new(Counted(Arc::clone(
+        &protected_drops,
+    )))));
+
+    let mut hp = HazardPointer::new(&domain);
+    let p = hp.protect(&slot);
+    // Unlink and retire while the hazard still covers it.
+    slot.store(std::ptr::null_mut(), Ordering::Release);
+    // SAFETY: unlinked, retired exactly once, hazard published.
+    unsafe { domain.retire(p) };
+
+    // Decoy churn: enough unprotected retirees to trip many scan cycles.
+    let decoy_drops = Arc::new(AtomicUsize::new(0));
+    for _ in 0..(SCAN_THRESHOLD * 4) {
+        let node = Box::into_raw(Box::new(Counted(Arc::clone(&decoy_drops))));
+        // SAFETY: never published; retired exactly once.
+        unsafe { domain.retire(node) };
+    }
+    domain.scan();
+    assert_eq!(
+        protected_drops.load(Ordering::SeqCst),
+        0,
+        "protected node reclaimed while its hazard was published"
+    );
+    assert_eq!(
+        decoy_drops.load(Ordering::SeqCst),
+        SCAN_THRESHOLD * 4,
+        "unprotected decoys must all be reclaimed by an explicit scan"
+    );
+
+    hp.reset();
+    domain.scan();
+    assert_eq!(
+        protected_drops.load(Ordering::SeqCst),
+        1,
+        "node must be reclaimed once its hazard resets"
+    );
+}
+
+/// Era (blanket) protection: an era entered *before* a batch of retires
+/// holds every one of them back, regardless of address; dropping the era
+/// releases them all on the next scan.
+#[test]
+fn era_blocks_nodes_retired_after_entry() {
+    let domain = Domain::new();
+    let drops = Arc::new(AtomicUsize::new(0));
+
+    let era = domain.enter_era();
+    const BATCH: usize = 24;
+    for _ in 0..BATCH {
+        let node = Box::into_raw(Box::new(Counted(Arc::clone(&drops))));
+        // SAFETY: never published; retired exactly once.
+        unsafe { domain.retire(node) };
+    }
+    domain.scan();
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        0,
+        "era entered before the retires must hold back every node"
+    );
+
+    drop(era);
+    domain.scan();
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        BATCH,
+        "dropping the era must release the whole batch"
+    );
 }

@@ -54,13 +54,17 @@ impl Ord for Tracked {
     }
 }
 
-/// Drains the process-wide default epoch collector so deferred destructors
-/// run before we audit the drop counter.
-fn quiesce_epochs() {
+/// Drains every process-wide reclamation backend — the default epoch
+/// collector, the hazard domain, and the debug quarantine — so deferred
+/// destructors run before we audit the drop counter.
+fn quiesce_reclaimers() {
+    use cds_reclaim::Reclaimer;
     for _ in 0..8 {
         let guard = cds_reclaim::epoch::pin();
         guard.flush();
     }
+    cds_reclaim::Hazard::collect();
+    cds_reclaim::DebugReclaim::collect();
 }
 
 fn stack_churn<S: ConcurrentStack<Tracked> + Default + 'static>() {
@@ -88,7 +92,7 @@ fn stack_churn<S: ConcurrentStack<Tracked> + Default + 'static>() {
         }
         // Remaining elements die with the structure.
     }
-    quiesce_epochs();
+    quiesce_reclaimers();
     assert_eq!(
         drops.load(Ordering::SeqCst) as u64,
         THREADS * PER_THREAD,
@@ -121,7 +125,7 @@ fn queue_churn<Q: ConcurrentQueue<Tracked> + Default + 'static>() {
             h.join().unwrap();
         }
     }
-    quiesce_epochs();
+    quiesce_reclaimers();
     assert_eq!(
         drops.load(Ordering::SeqCst) as u64,
         THREADS * PER_THREAD,
@@ -167,7 +171,7 @@ fn set_churn<S: ConcurrentSet<Tracked> + Default + 'static>() {
             h.join().unwrap();
         }
     }
-    quiesce_epochs();
+    quiesce_reclaimers();
     assert_eq!(
         drops.load(Ordering::SeqCst),
         created.load(Ordering::SeqCst),
@@ -180,7 +184,8 @@ fn set_churn<S: ConcurrentSet<Tracked> + Default + 'static>() {
 fn stacks_account_for_every_payload() {
     stack_churn::<cds_stack::CoarseStack<Tracked>>();
     stack_churn::<cds_stack::TreiberStack<Tracked>>();
-    stack_churn::<cds_stack::HpTreiberStack<Tracked>>();
+    stack_churn::<cds_stack::TreiberStack<Tracked, cds_reclaim::Hazard>>();
+    stack_churn::<cds_stack::TreiberStack<Tracked, cds_reclaim::DebugReclaim>>();
     stack_churn::<cds_stack::EliminationBackoffStack<Tracked>>();
     stack_churn::<cds_stack::FcStack<Tracked>>();
 }
@@ -221,7 +226,7 @@ fn epoch_collector_eventually_reclaims_churn() {
         drop(s.pop());
     }
     drop(s);
-    quiesce_epochs();
+    quiesce_reclaimers();
     let freed = drops.load(Ordering::SeqCst);
     assert!(
         freed >= 49_000,

@@ -116,7 +116,7 @@ fn stress_set<S: ConcurrentSet<u64> + Default + Sync>(seed: u64) {
 fn scheduled_stacks_are_linearizable() {
     stress_stack::<cds_stack::CoarseStack<u64>>(0x57ac0);
     stress_stack::<cds_stack::TreiberStack<u64>>(0x57ac1);
-    stress_stack::<cds_stack::HpTreiberStack<u64>>(0x57ac2);
+    stress_stack::<cds_stack::TreiberStack<u64, cds_reclaim::Hazard>>(0x57ac2);
     stress_stack::<cds_stack::EliminationBackoffStack<u64>>(0x57ac3);
     stress_stack::<cds_stack::FcStack<u64>>(0x57ac4);
 }
@@ -335,6 +335,134 @@ fn lock_based_structures_survive_a_crashed_worker() {
     // Quiescent: the queue still functions and reports a sane length.
     q.enqueue(99);
     assert!(q.dequeue().is_some());
+}
+
+/// DebugReclaim regression: a toy structure with a *planted* reclamation
+/// protocol violation — it caches a raw pointer at construction and later
+/// re-protects it without re-validating reachability — must be caught by
+/// the debug backend ("use-after-retire", with both thread ids), and the
+/// property harness must shrink the offending schedule to its 2-operation
+/// core (`[Update, BuggyRead]`) under a pinned seed so the failure replays
+/// byte-for-byte.
+#[test]
+fn debug_reclaim_catches_and_shrinks_injected_use_after_retire() {
+    use cds_lincheck::prop::{forall_vec, Config, Prng};
+    use cds_reclaim::epoch::{Atomic, Owned, Shared};
+    use cds_reclaim::{DebugGuard, DebugReclaim, ReclaimGuard, Reclaimer};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Update(u64),
+        BuggyRead,
+    }
+
+    /// Single-slot register with the bug: `new` stashes the initial node's
+    /// raw address, and `buggy_read` protects that stale address under a
+    /// *fresh* guard instead of re-reading the slot. Once an `Update` has
+    /// swapped the node out and retired it, the read touches a node a real
+    /// reclaimer could already have freed.
+    struct BuggySlot {
+        slot: Atomic<u64>,
+        cached: *mut u64,
+        /// Long-lived guard (entered before every retire, so it never
+        /// trips the checker itself) standing in for a reader registration
+        /// that keeps the registry populated across operations.
+        _keepalive: DebugGuard,
+    }
+
+    impl BuggySlot {
+        fn new() -> Self {
+            let keepalive = DebugReclaim::enter();
+            let slot = Atomic::new(0u64);
+            let cached = slot.load_raw(Ordering::Relaxed);
+            BuggySlot {
+                slot,
+                cached,
+                _keepalive: keepalive,
+            }
+        }
+
+        fn update(&self, v: u64) {
+            let guard = DebugReclaim::enter();
+            let fresh = Owned::new(v).into_shared(&guard);
+            let old = self.slot.swap(fresh, Ordering::AcqRel, &guard);
+            // SAFETY: unlinked by the swap; retired exactly once.
+            unsafe { guard.retire(old) };
+        }
+
+        fn buggy_read(&self) -> u64 {
+            let guard = DebugReclaim::enter();
+            // BUG: protects the construction-time pointer without
+            // re-validating that the slot still holds it. DebugReclaim
+            // panics here when the node was retired before `guard` began.
+            let p = guard.protect_ptr(0, Shared::from_raw(self.cached));
+            // SAFETY: only reached when the node was never retired (the
+            // checker panics above otherwise, and `_keepalive` quarantines
+            // retired nodes so the poison record is still present).
+            unsafe { *p.deref() }
+        }
+    }
+
+    impl Drop for BuggySlot {
+        fn drop(&mut self) {
+            let p = self.slot.load_raw(Ordering::Relaxed);
+            // SAFETY: the current slot value was never retired; the test
+            // owns the structure exclusively here.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+
+    let config = Config {
+        cases: 64,
+        seed: 0xdeb065eed, // pinned: the report below must be reproducible
+        max_len: 12,
+    };
+    let gen = |rng: &mut Prng| {
+        if rng.below(2) == 0 {
+            Op::Update(rng.below(100))
+        } else {
+            Op::BuggyRead
+        }
+    };
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        forall_vec(&config, gen, |script: &[Op]| {
+            let s = BuggySlot::new();
+            for op in script {
+                match op {
+                    Op::Update(v) => s.update(*v),
+                    Op::BuggyRead => {
+                        s.buggy_read();
+                    }
+                }
+            }
+        });
+    }))
+    .expect_err("the planted use-after-retire must be caught");
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("use-after-retire"),
+        "wrong failure kind: {msg}"
+    );
+    assert!(
+        msg.contains("minimized to 2 elems"),
+        "shrinker did not reach the [Update, BuggyRead] core: {msg}"
+    );
+    assert!(
+        msg.contains("CDS_PROP_SEED"),
+        "missing the replay hint: {msg}"
+    );
+
+    // The panic unwound with retired nodes still quarantined; drain them
+    // now that every guard is gone so later tests see a clean registry.
+    DebugReclaim::collect();
+    assert_eq!(DebugReclaim::retired_backlog(), 0);
 }
 
 /// Contention storm over a lock-free structure: every operation — hammer

@@ -171,7 +171,19 @@ impl Domain {
     ///
     /// Returns the number of nodes freed.
     pub fn scan(&self) -> usize {
-        // Retirement (unlinking) happens-before this scan's hazard reads.
+        // Steal the retired list FIRST: every node considered for freeing
+        // below was retired (hence unlinked) before this point. Only then
+        // read the hazard/era slots, so a reader that publish-validated a
+        // hazard (or published an era) before any stolen node's unlink is
+        // guaranteed visible to this scan. Reading the slots before taking
+        // the list would let a node retired between the slot snapshot and
+        // the list lock be freed out from under an established protection.
+        let stolen: Vec<Retired> = std::mem::take(&mut *self.retired.lock().unwrap());
+        if stolen.is_empty() {
+            return 0;
+        }
+
+        // Stolen nodes' unlinks happen-before this scan's hazard reads.
         fence(Ordering::SeqCst);
 
         // Snapshot all active hazards and the minimum published era.
@@ -181,42 +193,35 @@ impl Domain {
         while !cur.is_null() {
             // SAFETY: slots live as long as the domain.
             let slot = unsafe { &*cur };
-            let h = slot.hazard.load(Ordering::Acquire);
+            let h = slot.hazard.load(Ordering::SeqCst);
             if h != 0 {
                 protected.insert(h);
             }
-            let e = slot.era.load(Ordering::Acquire);
+            let e = slot.era.load(Ordering::SeqCst);
             if e != 0 {
                 min_era = Some(min_era.map_or(e, |m: u64| m.min(e)));
             }
             cur = slot.next.load(Ordering::Acquire);
         }
 
-        // Free retirees covered by neither an address hazard nor an era.
-        let to_free: Vec<Retired> = {
-            let mut retired = self.retired.lock().unwrap();
-            let mut to_free = Vec::new();
-            retired.retain_mut(|r| {
-                let era_held = min_era.is_some_and(|m| m <= r.stamp);
-                if era_held || protected.contains(&(r.ptr as usize)) {
-                    true
-                } else {
-                    to_free.push(Retired {
-                        ptr: r.ptr,
-                        dtor: r.dtor,
-                        stamp: r.stamp,
-                    });
-                    false
-                }
-            });
-            self.retired_count.store(retired.len(), Ordering::Relaxed);
-            to_free
-        };
+        // Free stolen nodes covered by neither an address hazard nor an
+        // era; push the covered ones back for a later scan.
+        let (keep, to_free): (Vec<Retired>, Vec<Retired>) = stolen.into_iter().partition(|r| {
+            min_era.is_some_and(|m| m <= r.stamp) || protected.contains(&(r.ptr as usize))
+        });
+        if !keep.is_empty() {
+            self.retired.lock().unwrap().extend(keep);
+        }
         let n = to_free.len();
+        // Subtract (rather than overwrite) so concurrent `retire`
+        // increments are not lost and the scan threshold keeps firing.
+        self.retired_count.fetch_sub(n, Ordering::Relaxed);
         for r in to_free {
-            // SAFETY: no hazard covers `r.ptr`, no era guard predates its
-            // retirement, and retire's contract says no new protection can
-            // begin (the node is unlinked).
+            // SAFETY: `r` was retired before the steal, so its unlink
+            // precedes the slot reads above; no hazard covers `r.ptr` and
+            // no era guard predates its retirement, so no established
+            // protection reaches it, and retire's contract rules out new
+            // ones (the node is unlinked).
             unsafe { (r.dtor)(r.ptr) };
         }
         n
@@ -238,12 +243,29 @@ impl Domain {
     /// mode; see the `Reclaimer` docs for the soundness contract.
     pub fn enter_era(&self) -> Era<'_> {
         let slot = self.acquire_slot();
-        let era = self.era_clock.load(Ordering::SeqCst);
-        // SAFETY: slots live as long as the domain, which `self` borrows.
-        unsafe { (*slot).era.store(era, Ordering::Relaxed) };
-        // Publish the era before the owner loads any structure pointers;
-        // pairs with the SeqCst fence in `scan`.
-        fence(Ordering::SeqCst);
+        // Publish-validate, like `HazardPointer::protect`: publish a clock
+        // snapshot, fence, and re-read the clock until it matches. On exit
+        // with era `e` the clock was still `e` after the publication, so
+        // any retirement stamped `>= e` performed its `fetch_add` after
+        // the era store — and a scan can only free that node after the
+        // retirement lands in the list it steals, hence after the store,
+        // so the scan's slot read sees the era and holds the node back.
+        // Publishing without the re-read would let a concurrent retirement
+        // stamped `e` be freed by a scan that ran before the store landed.
+        let mut era = self.era_clock.load(Ordering::SeqCst);
+        loop {
+            // SAFETY: slots live as long as the domain, which `self`
+            // borrows.
+            unsafe { (*slot).era.store(era, Ordering::SeqCst) };
+            // Publish the era before the owner loads any structure
+            // pointers; pairs with the SeqCst fence in `scan`.
+            fence(Ordering::SeqCst);
+            let now = self.era_clock.load(Ordering::SeqCst);
+            if now == era {
+                break;
+            }
+            era = now;
+        }
         Era {
             slot,
             _marker: std::marker::PhantomData,

@@ -245,6 +245,14 @@ enum HazardMode {
     Blanket(#[allow(dead_code)] Era<'static>),
 }
 
+thread_local! {
+    /// Hazard slots handed back by the last per-pointer guard on this
+    /// thread, so successive operations reuse their slots instead of
+    /// re-walking the domain's slot list (a CAS per node) and allocating
+    /// per guard.
+    static SLOT_CACHE: RefCell<Vec<HazardPointer<'static>>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Guard of the [`Hazard`] backend.
 pub struct HazardGuard {
     mode: HazardMode,
@@ -265,8 +273,13 @@ impl Reclaimer for Hazard {
     const NAME: &'static str = "hazard";
 
     fn enter() -> HazardGuard {
+        // Reuse this thread's cached slots; a nested guard finds the cache
+        // empty (taken by the outer guard) and acquires fresh ones.
+        let cached = SLOT_CACHE
+            .try_with(|c| std::mem::take(&mut *c.borrow_mut()))
+            .unwrap_or_default();
         HazardGuard {
-            mode: HazardMode::PerPointer(RefCell::new(Vec::new())),
+            mode: HazardMode::PerPointer(RefCell::new(cached)),
         }
     }
 
@@ -282,6 +295,30 @@ impl Reclaimer for Hazard {
 
     fn retired_backlog() -> usize {
         Hazard::domain().retired_len()
+    }
+}
+
+impl Drop for HazardGuard {
+    fn drop(&mut self) {
+        if let HazardMode::PerPointer(slots) = &mut self.mode {
+            let mut slots = std::mem::take(slots.get_mut());
+            // Clear the protections now — a stale hazard left published
+            // would block reclamation of whatever it last pointed at —
+            // but keep the slots acquired for the next guard.
+            for hp in &mut slots {
+                hp.reset();
+            }
+            let _ = SLOT_CACHE.try_with(move |c| {
+                let mut cache = c.borrow_mut();
+                if cache.is_empty() {
+                    *cache = slots;
+                }
+                // Non-empty cache (we were a nested guard): let `slots`
+                // drop here, releasing its slots back to the domain.
+            });
+            // If the TLS is gone (thread exit), the closure never ran and
+            // `slots` was dropped with it, releasing the slots.
+        }
     }
 }
 
@@ -379,13 +416,26 @@ fn debug_registry() -> &'static DebugRegistry {
     })
 }
 
-/// Drains the quarantine: frees every quarantined node and clears its
-/// poison entry. Sound even if guards enter concurrently — their entry
-/// stamps postdate every drained retirement, so (per the retire contract)
-/// they cannot reach the freed nodes.
+/// Drains the quarantine — frees every quarantined node and clears its
+/// poison entry — but only if no guard is live at the decision point.
+///
+/// The liveness check happens *inside* the inner lock: callers observe
+/// `active == 0` outside it, but a guard can enter (and another thread
+/// retire a node that guard legally protected, since the retire stamp
+/// postdates the guard's entry) between that observation and the lock
+/// acquisition; draining then would free a node a live guard still
+/// dereferences. Re-reading `active` under the lock closes the window:
+/// retire inserts under this same lock, so the quarantine is frozen while
+/// we hold it, and any guard entering after the re-read gets an entry
+/// stamp larger than every quarantined retirement (its `active` increment
+/// — and hence its clock increment — is SeqCst-ordered after our load),
+/// so per the retire contract it cannot reach the drained nodes.
 fn debug_drain(reg: &'static DebugRegistry) {
     let drained: Vec<DebugRetired> = {
         let mut inner = reg.inner.lock().unwrap();
+        if reg.active.load(Ordering::SeqCst) != 0 {
+            return;
+        }
         let q = std::mem::take(&mut inner.quarantine);
         for r in &q {
             inner.poisoned.remove(&r.addr);
@@ -445,10 +495,8 @@ impl Reclaimer for DebugReclaim {
     }
 
     fn collect() {
-        let reg = debug_registry();
-        if reg.active.load(Ordering::SeqCst) == 0 {
-            debug_drain(reg);
-        }
+        // `debug_drain` re-validates that no guard is live under the lock.
+        debug_drain(debug_registry());
     }
 
     fn retired_backlog() -> usize {
@@ -459,6 +507,8 @@ impl Reclaimer for DebugReclaim {
 impl Drop for DebugGuard {
     fn drop(&mut self) {
         let reg = debug_registry();
+        // The `== 1` result is only a hint that a drain may succeed;
+        // `debug_drain` re-validates `active == 0` under the lock.
         if reg.active.fetch_sub(1, Ordering::SeqCst) == 1 {
             debug_drain(reg);
         }

@@ -1,4 +1,4 @@
-//! Regenerates the evaluation tables (experiments E1–E10 of DESIGN.md) and
+//! Regenerates the evaluation tables (experiments E1–E11 of DESIGN.md) and
 //! emits the machine-readable measurement file.
 //!
 //! ```text
@@ -533,10 +533,86 @@ fn e10_reclamation(ctx: &mut Ctx) {
         .push_extra("e10_hazard_garbage_after_100k_churn", backlog as f64);
 }
 
+fn e11_resize(ctx: &mut Ctx) {
+    use cds_reclaim::Ebr;
+    use std::hash::RandomState;
+
+    // Resize sweep: a growth workload that starts from a deliberately
+    // small table and inserts enough distinct keys that every shard must
+    // double at least three times while the benchmark threads keep
+    // operating. Three rows:
+    //
+    //   resizing             — 8 shards × 8 buckets, grows cooperatively
+    //                          through incremental migration (no
+    //                          stop-the-world pause);
+    //   resizing (pre-sized) — same map born at final geometry, isolating
+    //                          the cost of migration itself;
+    //   striped              — the lock-striped map pre-sized to the
+    //                          matched final capacity so it never takes
+    //                          its all-stripe resize: the fixed-capacity
+    //                          baseline of the acceptance bound.
+    //
+    // The mix is insert-heavy (20% reads / 70% inserts / 10% removes)
+    // with no prefill, so the doublings happen under load, interleaved
+    // with the measured operations rather than in a setup phase.
+    let ops = ctx.scale.ops;
+    let key_range = 16_384u64;
+    header("E11 — resizable map growth sweep (20% reads / 70% inserts, Mops/s)");
+    let mut table: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut max_doublings = 0usize;
+    for &t in THREAD_SWEEP {
+        let w = Workload {
+            threads: t,
+            ops_per_thread: ops / t,
+            key_range,
+            read_pct: 20,
+            insert_pct: 70,
+            prefill: 0,
+        };
+        // ~13k resident keys over 8 shards trigger growth past 4 entries
+        // per bucket until each shard holds 512 buckets: 6 doublings per
+        // shard from the 8-bucket start.
+        let growing =
+            Arc::new(cds_map::ResizingMap::<u64, u64, RandomState, Ebr>::with_config(8, 8));
+        let rows = vec![
+            run_map(ctx, "e11", "resizing", Arc::clone(&growing), w),
+            run_map(
+                ctx,
+                "e11",
+                "resizing (pre-sized)",
+                Arc::new(cds_map::ResizingMap::<u64, u64, RandomState, Ebr>::with_config(8, 512)),
+                w,
+            ),
+            run_map(
+                ctx,
+                "e11",
+                "striped",
+                Arc::new(cds_map::StripedHashMap::with_config(16, 4096)),
+                w,
+            ),
+        ];
+        max_doublings = max_doublings.max(growing.doublings());
+        for (i, (name, mops)) in rows.into_iter().enumerate() {
+            if table.len() <= i {
+                table.push((name, Vec::new()));
+            }
+            table[i].1.push(mops);
+        }
+    }
+    for (name, cells) in &table {
+        row(name, cells);
+    }
+    println!("\nresizing-map bucket-array doublings under load: {max_doublings} (cooperative, no stop-the-world)");
+    ctx.report
+        .push_extra("e11_resizing_doublings", max_doublings as f64);
+}
+
 /// Validates an existing report file; returns an error description on any
-/// schema violation or missing experiment. With `partial`, e1–e10
+/// schema violation or missing experiment. With `partial`, e1–e11
 /// coverage is not required (for single-experiment runs), but any e10
-/// samples present must still sweep every reclamation backend.
+/// samples present must still sweep every reclamation backend, and any
+/// e11 samples must cover both resize-sweep implementations with three
+/// or more recorded doublings.
 fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
@@ -546,6 +622,9 @@ fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     }
     if !partial || samples.iter().any(|s| s.experiment == "e10") {
         report::validate_e10_backends(&samples).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if !partial || samples.iter().any(|s| s.experiment == "e11") {
+        report::validate_e11_resize(&doc, &samples).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(samples.len())
 }
@@ -567,7 +646,7 @@ fn main() {
                 println!(
                     "{path}: schema v{} OK, {n} samples, {}e10 backends swept",
                     report::SCHEMA_VERSION,
-                    if partial { "" } else { "e1–e10 covered, " },
+                    if partial { "" } else { "e1–e11 covered, " },
                 );
                 return;
             }
@@ -660,6 +739,9 @@ fn main() {
     if want("e10") {
         e10_reclamation(&mut ctx);
     }
+    if want("e11") {
+        e11_resize(&mut ctx);
+    }
 
     if let Some(path) = json_path {
         if let Err(e) = ctx.report.write_file(&path) {
@@ -667,7 +749,7 @@ fn main() {
             std::process::exit(1);
         }
         // Self-check: the file we just wrote must parse and satisfy the
-        // schema (and cover e1–e10 when the full suite ran).
+        // schema (and cover e1–e11 when the full suite ran).
         let text = std::fs::read_to_string(&path).expect("just wrote it");
         let doc = Json::parse(&text).unwrap_or_else(|e| {
             eprintln!("{path}: emitted invalid JSON: {e}");
@@ -680,6 +762,7 @@ fn main() {
         if run_all {
             if let Err(e) = report::validate_coverage(&samples)
                 .and_then(|()| report::validate_e10_backends(&samples))
+                .and_then(|()| report::validate_e11_resize(&doc, &samples))
             {
                 eprintln!("{path}: {e}");
                 std::process::exit(1);

@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "generated_by": "cds-bench experiments",
 //!   "mode": "quick" | "full",
 //!   "host": { "hardware_threads": 8, "os": "linux", "arch": "x86_64",
@@ -13,7 +13,8 @@
 //!   "seeds": { "prefill": 42, "thread_base": 1, "warmup_offset": 1589837824 },
 //!   "latency_sample_every": 8,
 //!   "warmup": { "max_iters": 5, "window": 3, "cov_threshold": 0.05 },
-//!   "extras": { "e10_hazard_garbage_after_100k_churn": 32 },
+//!   "extras": { "e10_hazard_garbage_after_100k_churn": 32,
+//!               "e11_resizing_doublings": 48 },
 //!   "samples": [ { "experiment": "e1", "impl": "atomic", "threads": 2,
 //!                  "read_pct": 0, "insert_pct": 0, "key_range": 0,
 //!                  "prefill": 0, "ops": 40000, "mops": 12.3,
@@ -27,6 +28,12 @@
 //! reclamation backend the structure was instantiated with (`"ebr"`,
 //! `"hazard"`, `"leak"`, `"debug"`). E10 samples must carry it; the
 //! backend sweep is validated by [`validate_e10_backends`].
+//!
+//! Version 3 adds experiment `e11` (the resize sweep) to the required
+//! coverage set together with the `e11_resizing_doublings` extra;
+//! [`validate_e11_resize`] checks that the sweep compared the resizable
+//! map against the fixed-capacity striped baseline and that the map
+//! actually grew (at least three bucket-array doublings).
 //!
 //! Latency percentiles are bucket midpoints from the merged per-thread
 //! [`LatencyHistogram`](crate::LatencyHistogram)s (≤3% relative bucket
@@ -43,20 +50,26 @@ use crate::{
 };
 
 /// Version stamped into (and required from) every emitted document.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
-/// The ten experiment identifiers a complete report must cover.
-pub const ALL_EXPERIMENTS: [&str; 10] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+/// The eleven experiment identifiers a complete report must cover.
+pub const ALL_EXPERIMENTS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// The reclamation backends the E10 sweep must cover.
 pub const E10_BACKENDS: [&str; 4] = ["ebr", "hazard", "leak", "debug"];
+
+/// The implementations the E11 resize sweep must compare: the resizable
+/// map growing from a small table, and the lock-striped map pre-sized to
+/// the matched final capacity.
+pub const E11_IMPLS: [&str; 2] = ["resizing", "striped"];
 
 /// One measured cell: an (experiment, implementation, workload) point with
 /// throughput and latency percentiles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
-    /// Experiment identifier, `"e1"`..`"e10"`.
+    /// Experiment identifier, `"e1"`..`"e11"`.
     pub experiment: String,
     /// Implementation name as printed in the tables.
     pub impl_name: String,
@@ -392,6 +405,39 @@ pub fn validate_e10_backends(samples: &[Sample]) -> Result<(), String> {
     } else {
         Err(format!("e10 missing backends: {}", missing.join(", ")))
     }
+}
+
+/// Checks the E11 resize sweep: both implementations in [`E11_IMPLS`]
+/// must appear among the `e11` samples, and the document's
+/// `e11_resizing_doublings` extra must record at least three bucket-array
+/// doublings — the sweep is meaningless if the resizable map never grew.
+pub fn validate_e11_resize(doc: &Json, samples: &[Sample]) -> Result<(), String> {
+    let missing: Vec<&str> = E11_IMPLS
+        .iter()
+        .filter(|name| {
+            !samples
+                .iter()
+                .any(|s| s.experiment == "e11" && s.impl_name == **name)
+        })
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "e11 missing implementations: {}",
+            missing.join(", ")
+        ));
+    }
+    let doublings = doc
+        .get("extras")
+        .and_then(|e| e.get("e11_resizing_doublings"))
+        .and_then(Json::as_f64)
+        .ok_or("e11 present but extras.e11_resizing_doublings missing")?;
+    if doublings < 3.0 {
+        return Err(format!(
+            "e11_resizing_doublings {doublings} < 3: the sweep never exercised growth"
+        ));
+    }
+    Ok(())
 }
 
 /// Checks that `samples` covers every experiment in [`ALL_EXPERIMENTS`];

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use cds_bench::json::Json;
 use cds_bench::report::{
-    validate_coverage, validate_e10_backends, validate_schema, ALL_EXPERIMENTS,
+    validate_coverage, validate_e10_backends, validate_e11_resize, validate_schema, ALL_EXPERIMENTS,
 };
 use cds_bench::{
     prefill_map, prefill_pq, prefill_set, set_run, LatencyHistogram, MixedOp, OpStream, Report,
@@ -188,12 +188,21 @@ fn emitted_json_round_trips_and_validates() {
         report.push(fake_sample("e10", 1).with_reclaimer(backend));
     }
     report.push_extra("e10_hazard_garbage_after_100k_churn", 32.0);
+    // The e11 resize sweep must compare both map implementations and
+    // record its doubling count (schema v3).
+    for name in ["resizing", "striped"] {
+        let mut s = fake_sample("e11", 1);
+        s.impl_name = name.to_string();
+        report.push(s);
+    }
+    report.push_extra("e11_resizing_doublings", 48.0);
 
     let text = report.to_json().to_string_pretty();
     let doc = Json::parse(&text).expect("emitted JSON must parse");
     let samples = validate_schema(&doc).expect("emitted JSON must satisfy the schema");
-    validate_coverage(&samples).expect("all ten experiments present");
+    validate_coverage(&samples).expect("all eleven experiments present");
     validate_e10_backends(&samples).expect("all four reclamation backends present");
+    validate_e11_resize(&doc, &samples).expect("resize sweep covers both maps and grew");
 
     // Field-for-field round trip.
     assert_eq!(samples.len(), report.samples.len());
@@ -202,7 +211,7 @@ fn emitted_json_round_trips_and_validates() {
     }
     // Document metadata survives too.
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
     assert!(doc
         .get("host")
         .and_then(|h| h.get("hardware_threads"))
@@ -273,6 +282,31 @@ fn schema_validation_rejects_bad_documents() {
     assert!(validate_e10_backends(&samples)
         .unwrap_err()
         .contains("debug"));
+
+    // An e11 sweep without the striped baseline fails the resize check.
+    let mut resize = Report::new("quick", Warmup::quick());
+    let mut s = fake_sample("e11", 1);
+    s.impl_name = "resizing".to_string();
+    resize.push(s);
+    resize.push_extra("e11_resizing_doublings", 48.0);
+    let doc = Json::parse(&resize.to_json().to_string_pretty()).unwrap();
+    let samples = validate_schema(&doc).expect("schema itself is fine");
+    assert!(validate_e11_resize(&doc, &samples)
+        .unwrap_err()
+        .contains("striped"));
+
+    // A sweep whose resizable map never grew is rejected even with both
+    // implementations present.
+    let mut s = fake_sample("e11", 1);
+    s.impl_name = "striped".to_string();
+    resize.push(s);
+    resize.extras.clear();
+    resize.push_extra("e11_resizing_doublings", 2.0);
+    let doc = Json::parse(&resize.to_json().to_string_pretty()).unwrap();
+    let samples = validate_schema(&doc).expect("schema itself is fine");
+    assert!(validate_e11_resize(&doc, &samples)
+        .unwrap_err()
+        .contains("never exercised growth"));
 }
 
 #[test]

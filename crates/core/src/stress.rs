@@ -178,6 +178,10 @@ impl Drop for StressRun {
 /// guard drops.
 pub fn install(cfg: StressConfig) -> StressRun {
     let exclusive = RUN_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+    // `cds-sync` sits below this crate, so its `Backoff` loops reach the
+    // scheduler through an injected hook rather than a direct call.
+    #[cfg(feature = "stress")]
+    cds_sync::stress::set_yield_point(yield_point);
     let change_period = cfg.change_period;
     *state_lock() = Some(SchedState {
         rng: SplitMix64::new(mix_seed(cfg.seed, 0x5ced)),

@@ -166,6 +166,15 @@ pub enum MapOp<K, V> {
     Remove(K),
     /// Lookup.
     Get(K),
+    /// Membership test.
+    ContainsKey(K),
+    /// Entry count — included so resize tests can pin down `len`'s
+    /// linearization point while buckets are mid-migration. Only generate
+    /// it against maps whose `len` *is* linearizable (a single counter
+    /// updated inside the operation's critical section); quiescently
+    /// consistent counters like the split-ordered map's will legitimately
+    /// fail.
+    Len,
 }
 
 /// Map results.
@@ -175,6 +184,10 @@ pub enum MapRes<V> {
     Changed(bool),
     /// What a get returned.
     Got(Option<V>),
+    /// What a membership test returned.
+    Has(bool),
+    /// What `len` returned.
+    Len(usize),
 }
 
 /// Sequential map with insert-if-absent semantics.
@@ -199,6 +212,8 @@ impl<K: Ord + Clone + std::hash::Hash, V: Clone + Eq + std::hash::Hash> Spec for
             }
             MapOp::Remove(k) => MapRes::Changed(self.items.remove(k).is_some()),
             MapOp::Get(k) => MapRes::Got(self.items.get(k).cloned()),
+            MapOp::ContainsKey(k) => MapRes::Has(self.items.contains_key(k)),
+            MapOp::Len => MapRes::Len(self.items.len()),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Concurrent hash maps.
 //!
-//! Three implementations of [`cds_core::ConcurrentMap`] spanning the
+//! Five implementations of [`cds_core::ConcurrentMap`] spanning the
 //! classical design space:
 //!
 //! * [`CoarseMap`] — `std::collections::HashMap` behind one mutex; the
@@ -20,6 +20,11 @@
 //!   shortcut pointers to *dummy* nodes, and doubling the table splits each
 //!   bucket logically — recursively — by inserting one new dummy per new
 //!   bucket.
+//! * [`ResizingMap`] — a production-style **sharded map with cooperative
+//!   incremental migration**: per-shard bucket tables double when a shard
+//!   exceeds its load factor, and every thread that touches a resizing
+//!   shard helps move a few buckets — no stop-the-world pause, with old
+//!   bucket arrays retired through the [`cds_reclaim::Reclaimer`] trait.
 //!
 //! # Example
 //!
@@ -38,11 +43,13 @@
 
 mod bucketed;
 mod coarse;
+mod resizing;
 mod split_ordered;
 mod striped;
 
 pub use bucketed::BucketedHashSet;
 pub use coarse::CoarseMap;
+pub use resizing::ResizingMap;
 pub use split_ordered::SplitOrderedHashMap;
 pub use striped::StripedHashMap;
 
@@ -126,6 +133,7 @@ mod tests {
         map_semantics::<CoarseMap<u64, String>>();
         map_semantics::<StripedHashMap<u64, String>>();
         map_semantics::<SplitOrderedHashMap<u64, String>>();
+        map_semantics::<ResizingMap<u64, String>>();
     }
 
     #[test]
@@ -133,6 +141,7 @@ mod tests {
         grows_past_initial_capacity::<CoarseMap<u64, u64>>();
         grows_past_initial_capacity::<StripedHashMap<u64, u64>>();
         grows_past_initial_capacity::<SplitOrderedHashMap<u64, u64>>();
+        grows_past_initial_capacity::<ResizingMap<u64, u64>>();
     }
 
     #[test]
@@ -140,6 +149,7 @@ mod tests {
         concurrent_disjoint_inserts::<CoarseMap<u64, u64>>();
         concurrent_disjoint_inserts::<StripedHashMap<u64, u64>>();
         concurrent_disjoint_inserts::<SplitOrderedHashMap<u64, u64>>();
+        concurrent_disjoint_inserts::<ResizingMap<u64, u64>>();
     }
 
     #[test]
@@ -147,5 +157,6 @@ mod tests {
         one_insert_winner::<CoarseMap<u64, u64>>();
         one_insert_winner::<StripedHashMap<u64, u64>>();
         one_insert_winner::<SplitOrderedHashMap<u64, u64>>();
+        one_insert_winner::<ResizingMap<u64, u64>>();
     }
 }

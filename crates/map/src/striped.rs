@@ -63,6 +63,27 @@ impl<K: Hash + Eq, V> Default for StripedHashMap<K, V, RandomState> {
     }
 }
 
+impl<K: Hash + Eq, V> StripedHashMap<K, V, RandomState> {
+    /// Creates an empty map with explicit geometry: `stripes` locks over
+    /// `buckets` initial buckets (both rounded up to powers of two, and
+    /// `buckets` to at least `stripes` so the table length stays a
+    /// multiple of the lock count across doublings).
+    ///
+    /// Tiny geometries let bounded stress windows reach the all-stripe
+    /// resize path: with one stripe and one bucket, the fifth insert
+    /// already doubles the table.
+    pub fn with_config(stripes: usize, buckets: usize) -> Self {
+        let stripes = stripes.next_power_of_two().max(1);
+        let buckets = buckets.next_power_of_two().max(stripes);
+        StripedHashMap {
+            locks: (0..stripes).map(|_| Mutex::new(())).collect(),
+            table: UnsafeCell::new((0..buckets).map(|_| UnsafeCell::new(Vec::new())).collect()),
+            size: AtomicUsize::new(0),
+            hasher: RandomState::new(),
+        }
+    }
+}
+
 impl<K: Hash + Eq, V, S: BuildHasher> StripedHashMap<K, V, S> {
     /// Creates an empty map with a caller-supplied hasher.
     pub fn with_hasher(hasher: S) -> Self {
@@ -95,6 +116,7 @@ impl<K: Hash + Eq, V, S: BuildHasher> StripedHashMap<K, V, S> {
 
     /// Doubles the table if it still has `old_len` buckets.
     fn resize(&self, old_len: usize) {
+        cds_core::stress::yield_point();
         // Acquire every stripe in index order (deadlock-free).
         let _guards: Vec<_> = self.locks.iter().map(|l| l.lock()).collect();
         // SAFETY: all stripes held — exclusive access to the table.
@@ -106,6 +128,7 @@ impl<K: Hash + Eq, V, S: BuildHasher> StripedHashMap<K, V, S> {
         let new_table: Vec<UnsafeCell<Vec<(K, V)>>> =
             (0..new_len).map(|_| UnsafeCell::new(Vec::new())).collect();
         for bucket in table.drain(..) {
+            cds_core::stress::yield_point();
             for (k, v) in bucket.into_inner() {
                 let idx = self.hash(&k) % new_len;
                 // SAFETY: new_table is local to this call.

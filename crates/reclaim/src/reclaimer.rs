@@ -51,6 +51,20 @@
 //! node, so holding back only nodes retired during live guards is
 //! enough); per-pointer guards rely on it through the publish-validate
 //! step (a validated pointer is currently reachable, hence not retired).
+//!
+//! # Retire granularity
+//!
+//! Nothing in the contract says the retired object is a *node*.
+//! [`ReclaimGuard::retire`] is generic over any `Atomic`/`Owned`-managed
+//! allocation behind a thin pointer, so a structure can retire an entire
+//! **bucket array** in one call by wrapping it in a table struct (e.g.
+//! `struct Table { buckets: Box<[Mutex<Bucket>]>, .. }`): the backend
+//! destructor boxes the table back up and dropping it drops every bucket.
+//! This is how `cds_map::ResizingMap` reclaims superseded generations —
+//! the thread that completes a migration severs the old table from the
+//! shard root and retires it whole, and the usual contract ("unreachable
+//! to operations that begin afterwards") carries over unchanged because
+//! operations reach buckets only through the root pointer.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -710,6 +724,75 @@ mod tests {
         assert!(msg.contains("double retire"), "wrong message: {msg}");
         drop(guard);
         DebugReclaim::collect();
+    }
+
+    /// Array-granularity retire (see the module docs): swap out a table
+    /// that owns a whole boxed slice of buckets, retire it with one call,
+    /// and every bucket entry must eventually drop — except under `Leak`.
+    /// Collection loops because sibling tests in this binary may hold
+    /// pins/guards that legitimately defer the drain.
+    fn retire_bucket_array_on<R: Reclaimer>(expect_freed: bool) {
+        struct Table {
+            _buckets: Box<[Vec<DropCounter>]>,
+        }
+        const BUCKETS: usize = 8;
+        const PER_BUCKET: usize = 4;
+        const ENTRIES: usize = BUCKETS * PER_BUCKET;
+
+        let drops = Arc::new(Counter::new(0));
+        let table = Table {
+            _buckets: (0..BUCKETS)
+                .map(|_| {
+                    (0..PER_BUCKET)
+                        .map(|_| DropCounter(Arc::clone(&drops)))
+                        .collect()
+                })
+                .collect(),
+        };
+        let current: Atomic<Table> = Atomic::new(table);
+        {
+            let guard = R::enter_blanket();
+            let empty = crate::epoch::Owned::new(Table {
+                _buckets: Box::new([]),
+            });
+            let old = current.swap(empty.into_shared(&guard), Ordering::AcqRel, &guard);
+            // SAFETY: the swap severed the old table from the root;
+            // retired exactly once.
+            unsafe { guard.retire(old) };
+        }
+        if expect_freed {
+            for _ in 0..1000 {
+                R::collect();
+                if drops.load(Ordering::SeqCst) == ENTRIES {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                ENTRIES,
+                "{}: retired bucket array did not drop all entries",
+                R::NAME
+            );
+        } else {
+            R::collect();
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                0,
+                "{}: leaked table must not drop",
+                R::NAME
+            );
+        }
+        // SAFETY: unique access to the live (empty) table.
+        unsafe { drop(current.into_owned()) };
+    }
+
+    #[test]
+    fn retired_bucket_arrays_drop_every_entry() {
+        retire_bucket_array_on::<Ebr>(true);
+        retire_bucket_array_on::<Hazard>(true);
+        retire_bucket_array_on::<DebugReclaim>(true);
+        retire_bucket_array_on::<Leak>(false);
     }
 
     #[test]

@@ -17,6 +17,11 @@ use std::fmt;
 ///   make progress (e.g. a queue is empty); after a few rounds of spinning
 ///   this escalates to `thread::yield_now`.
 ///
+/// Under the `stress` feature, every backoff step is also a scheduler
+/// yield point (see [`crate::stress`]), so retry loops that back off —
+/// e.g. an operation waiting out a bucket migration in a resizing map —
+/// are preemption points the deterministic stress seeds can exploit.
+///
 /// # Example
 ///
 /// ```
@@ -63,6 +68,7 @@ impl Backoff {
     /// so the pause stays bounded.
     #[inline]
     pub fn spin(&self) {
+        crate::stress::yield_point();
         let step = self.step.get().min(SPIN_LIMIT);
         for _ in 0..(1u32 << step) {
             core::hint::spin_loop();
@@ -80,6 +86,7 @@ impl Backoff {
     /// spin budget is exhausted.
     #[inline]
     pub fn snooze(&self) {
+        crate::stress::yield_point();
         let step = self.step.get();
         if step <= SPIN_LIMIT {
             for _ in 0..(1u32 << step) {

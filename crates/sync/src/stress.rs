@@ -1,0 +1,33 @@
+//! Injectable stress yield hook.
+//!
+//! `cds-sync` sits *below* `cds-core` in the crate graph, so it cannot
+//! call `cds_core::stress::yield_point` directly the way the structure
+//! crates do. Instead it exposes one registration point: when the
+//! PCT-style stress scheduler is installed, `cds-core` registers its
+//! `yield_point` here, and [`Backoff::spin`](crate::Backoff::spin) /
+//! [`Backoff::snooze`](crate::Backoff::snooze) route through it — so a
+//! retry loop that backs off during a contended resize migration is a
+//! real preemption point for seeds to exploit, not a scheduling blind
+//! spot.
+//!
+//! Everything here compiles away without the `stress` feature.
+
+use std::sync::OnceLock;
+
+static YIELD_HOOK: OnceLock<fn()> = OnceLock::new();
+
+/// Registers the process-wide yield hook called from every backoff step.
+///
+/// Idempotent: the first registration wins (the scheduler registers the
+/// same function on every install, so later calls are harmless no-ops).
+pub fn set_yield_point(f: fn()) {
+    let _ = YIELD_HOOK.set(f);
+}
+
+/// Invokes the registered hook, if any.
+#[inline]
+pub(crate) fn yield_point() {
+    if let Some(f) = YIELD_HOOK.get() {
+        f();
+    }
+}

@@ -149,6 +149,10 @@ fn stress_map_on<R: Reclaimer>(base: u64) {
             MapOp::Insert(k, v) => MapRes::Changed(m.insert(*k, *v)),
             MapOp::Remove(k) => MapRes::Changed(m.remove(k)),
             MapOp::Get(k) => MapRes::Got(m.get(k)),
+            // Not generated here (the split-ordered map's len is only
+            // quiescently consistent); wired for exhaustiveness.
+            MapOp::ContainsKey(k) => MapRes::Has(m.contains_key(k)),
+            MapOp::Len => MapRes::Len(m.len()),
         },
     )
     .unwrap_or_else(|f| {
@@ -157,6 +161,41 @@ fn stress_map_on<R: Reclaimer>(base: u64) {
             R::NAME
         )
     });
+}
+
+/// ResizingMap cell: tiny geometry (one shard, one initial bucket) so the
+/// cooperative migration protocol — install, helping, promotion, and the
+/// **retire of the old bucket array** through `R`'s guard — all run inside
+/// every 48-op window, under every backend. The generator exercises the
+/// two resize-boundary operations (`contains_key`, `len`) alongside the
+/// usual insert/remove/get mix.
+fn stress_resizing_map_on<R: Reclaimer>(base: u64) {
+    stress(
+        MapSpec::<u64, u64>::default(),
+        &StressOptions {
+            ops_per_thread: 16, // enough inserts per window to force doublings
+            ..opts(cell_seed::<R>(base))
+        },
+        || cds_map::ResizingMap::<u64, u64, RandomState, R>::with_config(1, 1),
+        |rng, _t| {
+            let k = rng.below(12);
+            match rng.below(8) {
+                0..=3 => MapOp::Insert(k, rng.below(100)),
+                4 => MapOp::Remove(k),
+                5 => MapOp::ContainsKey(k),
+                6 => MapOp::Len,
+                _ => MapOp::Get(k),
+            }
+        },
+        |m, op| match op {
+            MapOp::Insert(k, v) => MapRes::Changed(m.insert(*k, *v)),
+            MapOp::Remove(k) => MapRes::Changed(m.remove(k)),
+            MapOp::Get(k) => MapRes::Got(m.get(k)),
+            MapOp::ContainsKey(k) => MapRes::Has(m.contains_key(k)),
+            MapOp::Len => MapRes::Len(m.len()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("resizing map under {} not linearizable: {f:?}", R::NAME));
 }
 
 /// The Chase–Lev deque has an owner-only `push`/`pop` API, so it cannot go
@@ -303,4 +342,156 @@ fn chase_lev_deque_under_every_backend() {
     chase_lev_on::<Hazard>(0x3a7a1c6);
     chase_lev_on::<Leak>(0x3a7a1c6);
     chase_lev_on::<DebugReclaim>(0x3a7a1c6);
+}
+
+#[test]
+fn resizing_map_under_every_backend() {
+    stress_resizing_map_on::<Ebr>(0x3a7a1c7);
+    stress_resizing_map_on::<Hazard>(0x3a7a1c7);
+    stress_resizing_map_on::<Leak>(0x3a7a1c7);
+    stress_resizing_map_on::<DebugReclaim>(0x3a7a1c7);
+}
+
+/// Plants the resize bug the retire contract exists to rule out — keeping
+/// a raw pointer to a **bucket array** across the promotion that retires
+/// it — and proves `DebugReclaim` catches it and the prop harness shrinks
+/// the script to its `[Grow, StaleScan]` core with a replayable seed.
+///
+/// This is the array-granularity analogue of the node-level regression in
+/// `tests/schedules.rs`: here the retired object is a whole `Table` (a
+/// boxed slice of buckets), exactly what `ResizingMap` hands to
+/// `ReclaimGuard::retire` at promotion.
+#[test]
+fn debug_reclaim_catches_use_after_retire_of_old_bucket_array() {
+    use cds_lincheck::prop::{forall_vec, Config, Prng};
+    use cds_reclaim::epoch::{Atomic, Owned, Shared};
+    use cds_reclaim::{DebugGuard, ReclaimGuard};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Grow,
+        StaleScan,
+    }
+
+    /// A bucket array like the one `ResizingMap` retires at promotion.
+    struct Table {
+        buckets: Box<[Vec<(u64, u64)>]>,
+    }
+
+    impl Table {
+        fn sized(n: usize) -> Table {
+            Table {
+                buckets: (0..n).map(|_| vec![(7, 7)]).collect(),
+            }
+        }
+    }
+
+    /// The planted bug: `scan_start` is captured at construction and
+    /// never re-read, so after one `grow` (which swaps in a doubled table
+    /// and retires the old array) the scan walks a retired bucket array
+    /// under a guard that began *after* the retire.
+    struct BuggyResizer {
+        current: Atomic<Table>,
+        scan_start: *mut Table,
+        /// Entered before every retire so the poison record survives in
+        /// quarantine for the checker to trip on (same idiom as the
+        /// node-level regression).
+        _keepalive: DebugGuard,
+    }
+
+    impl BuggyResizer {
+        fn new() -> Self {
+            let keepalive = DebugReclaim::enter();
+            let current = Atomic::new(Table::sized(1));
+            let scan_start = current.load_raw(Ordering::Relaxed);
+            BuggyResizer {
+                current,
+                scan_start,
+                _keepalive: keepalive,
+            }
+        }
+
+        fn grow(&self) {
+            let guard = DebugReclaim::enter_blanket();
+            let old = self.current.load(Ordering::Acquire, &guard);
+            // SAFETY: protected by the blanket guard.
+            let doubled = Table::sized(unsafe { old.deref() }.buckets.len() * 2);
+            let fresh = Owned::new(doubled).into_shared(&guard);
+            self.current.store(fresh, Ordering::Release);
+            // SAFETY: unlinked by the store above; retired exactly once.
+            unsafe { guard.retire(old) };
+        }
+
+        fn stale_scan(&self) -> usize {
+            let guard = DebugReclaim::enter_blanket();
+            // BUG: protects the construction-time array without re-reading
+            // `current`. DebugReclaim panics here once `grow` has retired
+            // that array before this guard began.
+            let p = guard.protect_ptr(0, Shared::from_raw(self.scan_start));
+            // SAFETY: only reached while the array was never retired (the
+            // checker panics above otherwise).
+            unsafe { p.deref() }.buckets.iter().map(Vec::len).sum()
+        }
+    }
+
+    impl Drop for BuggyResizer {
+        fn drop(&mut self) {
+            let p = self.current.load_raw(Ordering::Relaxed);
+            // SAFETY: the current table was never retired; the test owns
+            // the structure exclusively here.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+
+    let config = Config {
+        cases: 64,
+        seed: 0xdeb0a44a1, // pinned: the report below must be reproducible
+        max_len: 12,
+    };
+    let gen = |rng: &mut Prng| {
+        if rng.below(2) == 0 {
+            Op::Grow
+        } else {
+            Op::StaleScan
+        }
+    };
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        forall_vec(&config, gen, |script: &[Op]| {
+            let r = BuggyResizer::new();
+            for op in script {
+                match op {
+                    Op::Grow => r.grow(),
+                    Op::StaleScan => {
+                        r.stale_scan();
+                    }
+                }
+            }
+        });
+    }))
+    .expect_err("the planted bucket-array use-after-retire must be caught");
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("use-after-retire"),
+        "wrong failure kind: {msg}"
+    );
+    assert!(
+        msg.contains("minimized to 2 elems"),
+        "shrinker did not reach the [Grow, StaleScan] core: {msg}"
+    );
+    assert!(
+        msg.contains("CDS_PROP_SEED"),
+        "missing the replay hint: {msg}"
+    );
+
+    // Drain the quarantined tables now that every guard is gone so later
+    // tests see a clean registry.
+    DebugReclaim::collect();
+    assert_eq!(DebugReclaim::retired_backlog(), 0);
 }

@@ -168,6 +168,10 @@ fn scheduled_maps_are_linearizable() {
                 MapOp::Insert(k, v) => MapRes::Changed(m.insert(*k, *v)),
                 MapOp::Remove(k) => MapRes::Changed(m.remove(k)),
                 MapOp::Get(k) => MapRes::Got(m.get(k)),
+                // Not generated here (the split-ordered map's len is only
+                // quiescently consistent); wired for exhaustiveness.
+                MapOp::ContainsKey(k) => MapRes::Has(m.contains_key(k)),
+                MapOp::Len => MapRes::Len(m.len()),
             },
         )
         .unwrap_or_else(|f| panic!("{} map not linearizable: {f:?}", M::NAME));

@@ -1,4 +1,4 @@
-//! Regenerates the evaluation tables (experiments E1–E11 of DESIGN.md) and
+//! Regenerates the evaluation tables (experiments E1–E12 of DESIGN.md) and
 //! emits the machine-readable measurement file.
 //!
 //! ```text
@@ -61,6 +61,24 @@ impl Ctx {
     ) -> f64 {
         self.report
             .push(Sample::from_stats(experiment, impl_name, w, stats).with_reclaimer(backend));
+        stats.mops
+    }
+
+    /// Records one measured cell with its contention-telemetry delta (if
+    /// the bench binary was built with the `telemetry` feature).
+    fn record_telemetry(
+        &mut self,
+        experiment: &str,
+        impl_name: &str,
+        w: &Workload,
+        stats: &RunStats,
+        telemetry: Option<report::TelemetryRecord>,
+    ) -> f64 {
+        let mut sample = Sample::from_stats(experiment, impl_name, w, stats);
+        if let Some(t) = telemetry {
+            sample = sample.with_telemetry(t);
+        }
+        self.report.push(sample);
         stats.mops
     }
 }
@@ -607,12 +625,123 @@ fn e11_resize(ctx: &mut Ctx) {
         .push_extra("e11_resizing_doublings", max_doublings as f64);
 }
 
+fn e12_contention(ctx: &mut Ctx) {
+    use cds_bench::report::TelemetryRecord;
+
+    // Contention sweep: three representative structures — a CAS-retry
+    // stack, a CAS-retry queue, and a spinning lock — re-measured with
+    // the `cds-obs` counter delta captured around each cell. With the
+    // default build the counters compile to no-ops and the samples carry
+    // no telemetry (the throughput table is all this prints); with
+    // `--features telemetry` every cell records its CAS attempt/failure
+    // and spin-iteration counts, from which the failure-rate and
+    // spins-per-acquisition tables below are derived. The delta spans
+    // warmup plus the timed section, so the ratios are the meaningful
+    // reading, not the absolute counts.
+
+    /// The counter delta since `base` as a sample record, nonzero entries
+    /// only; `None` when telemetry is compiled out.
+    fn capture(base: &cds_obs::Snapshot) -> Option<TelemetryRecord> {
+        if !cds_obs::enabled() {
+            return None;
+        }
+        let delta = cds_obs::Snapshot::take().delta(base);
+        Some(TelemetryRecord {
+            counters: delta
+                .iter()
+                .filter(|&(_, v)| v != 0)
+                .map(|(e, v)| (e.name().to_string(), v))
+                .collect(),
+        })
+    }
+
+    /// One implementation row: runs every thread count, recording each
+    /// cell with its telemetry, and returns the per-cell records for the
+    /// derived tables. The reset keeps per-cell peaks (max-kind events)
+    /// from accumulating across cells; no worker threads are live between
+    /// runs, so it cannot race a recorder.
+    fn sweep(
+        ctx: &mut Ctx,
+        name: &str,
+        mut cell: impl FnMut(usize) -> (Workload, RunStats),
+    ) -> Vec<Option<TelemetryRecord>> {
+        let mut cells = Vec::new();
+        let mut tels = Vec::new();
+        for &t in THREAD_SWEEP {
+            cds_obs::reset();
+            let base = cds_obs::Snapshot::take();
+            let (w, stats) = cell(t);
+            let tel = capture(&base);
+            cells.push(ctx.record_telemetry("e12", name, &w, &stats, tel.clone()));
+            tels.push(tel);
+        }
+        row(name, &cells);
+        tels
+    }
+
+    let ops = ctx.scale.ops;
+    let warm = ctx.warm;
+
+    header("E12 — contention sweep throughput (Mops/s)");
+    let treiber = sweep(ctx, "treiber", |t| {
+        let w = Workload::fifty_fifty(t, ops / t, 1024);
+        let stats = stack_run(Arc::new(cds_stack::TreiberStack::new()), w, warm);
+        (w, stats)
+    });
+    let ms = sweep(ctx, "michael-scott", |t| {
+        let w = Workload::fifty_fifty(t, ops / t, 1024);
+        let stats = queue_run(Arc::new(cds_queue::MsQueue::new()), w, warm);
+        (w, stats)
+    });
+    let ttas = sweep(ctx, "ttas+backoff", |t| {
+        let w = Workload::ops_only(t, ops / t);
+        let lock = Arc::new(cds_sync::Lock::<cds_sync::TtasLock, u64>::new(0));
+        let stats = lock_run(t, ops / t, warm, move || {
+            *lock.lock() += 1;
+        });
+        (w, stats)
+    });
+
+    ctx.report.push_extra(
+        "telemetry_enabled",
+        if cds_obs::enabled() { 1.0 } else { 0.0 },
+    );
+
+    if cds_obs::enabled() {
+        let ratio = |tel: &Option<TelemetryRecord>, num: &str, den: &str, scale: f64| {
+            tel.as_ref().map_or(0.0, |t| {
+                let d = t.get(den);
+                if d == 0 {
+                    0.0
+                } else {
+                    scale * t.get(num) as f64 / d as f64
+                }
+            })
+        };
+        header("E12 — CAS failure rate (% of attempts)");
+        for (name, tels) in [("treiber", &treiber), ("michael-scott", &ms)] {
+            let cells: Vec<f64> = tels
+                .iter()
+                .map(|t| ratio(t, "cas_failure", "cas_attempt", 100.0))
+                .collect();
+            row(name, &cells);
+        }
+        header("E12 — TTAS spin iterations per acquisition");
+        let cells: Vec<f64> = ttas
+            .iter()
+            .map(|t| ratio(t, "ttas_spin", "ttas_acquire", 1.0))
+            .collect();
+        row("ttas+backoff", &cells);
+    }
+}
+
 /// Validates an existing report file; returns an error description on any
-/// schema violation or missing experiment. With `partial`, e1–e11
+/// schema violation or missing experiment. With `partial`, e1–e12
 /// coverage is not required (for single-experiment runs), but any e10
-/// samples present must still sweep every reclamation backend, and any
-/// e11 samples must cover both resize-sweep implementations with three
-/// or more recorded doublings.
+/// samples present must still sweep every reclamation backend, any e11
+/// samples must cover both resize-sweep implementations with three or
+/// more recorded doublings, and any e12 samples must cover the contention
+/// sweep (with telemetry records when `extras.telemetry_enabled` is 1).
 fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
@@ -625,6 +754,9 @@ fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     }
     if !partial || samples.iter().any(|s| s.experiment == "e11") {
         report::validate_e11_resize(&doc, &samples).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if !partial || samples.iter().any(|s| s.experiment == "e12") {
+        report::validate_e12_contention(&doc, &samples).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(samples.len())
 }
@@ -646,7 +778,7 @@ fn main() {
                 println!(
                     "{path}: schema v{} OK, {n} samples, {}e10 backends swept",
                     report::SCHEMA_VERSION,
-                    if partial { "" } else { "e1–e11 covered, " },
+                    if partial { "" } else { "e1–e12 covered, " },
                 );
                 return;
             }
@@ -742,6 +874,9 @@ fn main() {
     if want("e11") {
         e11_resize(&mut ctx);
     }
+    if want("e12") {
+        e12_contention(&mut ctx);
+    }
 
     if let Some(path) = json_path {
         if let Err(e) = ctx.report.write_file(&path) {
@@ -763,6 +898,7 @@ fn main() {
             if let Err(e) = report::validate_coverage(&samples)
                 .and_then(|()| report::validate_e10_backends(&samples))
                 .and_then(|()| report::validate_e11_resize(&doc, &samples))
+                .and_then(|()| report::validate_e12_contention(&doc, &samples))
             {
                 eprintln!("{path}: {e}");
                 std::process::exit(1);

@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "generated_by": "cds-bench experiments",
 //!   "mode": "quick" | "full",
 //!   "host": { "hardware_threads": 8, "os": "linux", "arch": "x86_64",
@@ -14,7 +14,8 @@
 //!   "latency_sample_every": 8,
 //!   "warmup": { "max_iters": 5, "window": 3, "cov_threshold": 0.05 },
 //!   "extras": { "e10_hazard_garbage_after_100k_churn": 32,
-//!               "e11_resizing_doublings": 48 },
+//!               "e11_resizing_doublings": 48,
+//!               "telemetry_enabled": 0 },
 //!   "samples": [ { "experiment": "e1", "impl": "atomic", "threads": 2,
 //!                  "read_pct": 0, "insert_pct": 0, "key_range": 0,
 //!                  "prefill": 0, "ops": 40000, "mops": 12.3,
@@ -35,6 +36,18 @@
 //! map against the fixed-capacity striped baseline and that the map
 //! actually grew (at least three bucket-array doublings).
 //!
+//! Version 4 adds experiment `e12` (the contention sweep) together with
+//! the `telemetry_enabled` extra and an optional per-sample `"telemetry"`
+//! object — the delta of the `cds-obs` event counters across the cell's
+//! run (warmup iterations included, so ratio metrics such as CAS-failure
+//! rate are the meaningful reading), keyed by event name (only nonzero
+//! counters are recorded). The record is present only when the bench
+//! binary was built
+//! with the `telemetry` feature; [`validate_e12_contention`] requires it
+//! on every e12 sample exactly when `extras.telemetry_enabled` is 1, and
+//! [`validate_schema`] checks CAS conservation
+//! (`cas_attempts == cas_success + cas_failure`) inside every record.
+//!
 //! Latency percentiles are bucket midpoints from the merged per-thread
 //! [`LatencyHistogram`](crate::LatencyHistogram)s (≤3% relative bucket
 //! error) and are sampled — one op in
@@ -50,11 +63,11 @@ use crate::{
 };
 
 /// Version stamped into (and required from) every emitted document.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
-/// The eleven experiment identifiers a complete report must cover.
-pub const ALL_EXPERIMENTS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+/// The twelve experiment identifiers a complete report must cover.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// The reclamation backends the E10 sweep must cover.
@@ -64,6 +77,57 @@ pub const E10_BACKENDS: [&str; 4] = ["ebr", "hazard", "leak", "debug"];
 /// map growing from a small table, and the lock-striped map pre-sized to
 /// the matched final capacity.
 pub const E11_IMPLS: [&str; 2] = ["resizing", "striped"];
+
+/// The implementations the E12 contention sweep must cover: a CAS-retry
+/// stack and queue (CAS-failure rate vs threads) and a spinning lock
+/// (spin iterations vs threads).
+pub const E12_IMPLS: [&str; 3] = ["treiber", "michael-scott", "ttas+backoff"];
+
+/// Per-cell contention telemetry (schema v4): the delta of the global
+/// `cds-obs` event counters across the cell's run (warmup included —
+/// ratio metrics like failures-per-attempt are window-invariant), keyed
+/// by event name. Only nonzero counters are stored, in `cds-obs`
+/// declaration order. Present only on documents produced by a bench
+/// binary built with the `telemetry` feature.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryRecord {
+    /// `(event_name, delta)` pairs, nonzero entries only.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TelemetryRecord {
+    /// Looks up one counter by event name; absent counters read as zero
+    /// (an event that never fired is a zero delta, not missing data).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect(),
+        )
+    }
+
+    fn from_json(value: &Json) -> Result<TelemetryRecord, String> {
+        let Json::Obj(fields) = value else {
+            return Err("telemetry is not an object".into());
+        };
+        let mut counters = Vec::with_capacity(fields.len());
+        for (k, v) in fields {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("telemetry.{k} is not a non-negative integer"))?;
+            counters.push((k.clone(), n));
+        }
+        Ok(TelemetryRecord { counters })
+    }
+}
 
 /// One measured cell: an (experiment, implementation, workload) point with
 /// throughput and latency percentiles.
@@ -76,6 +140,9 @@ pub struct Sample {
     /// Reclamation backend the structure ran with (`"ebr"`, `"hazard"`,
     /// `"leak"`, `"debug"`), or `None` where reclamation is not an axis.
     pub reclaimer: Option<String>,
+    /// Contention telemetry delta for this cell, or `None` when the bench
+    /// binary was built without the `telemetry` feature.
+    pub telemetry: Option<TelemetryRecord>,
     /// Worker thread count.
     pub threads: usize,
     /// Read percentage of the mix (0 for stacks/queues/counters/locks).
@@ -112,6 +179,7 @@ impl Sample {
             experiment: experiment.to_string(),
             impl_name: impl_name.to_string(),
             reclaimer: None,
+            telemetry: None,
             threads: w.threads,
             read_pct: w.read_pct,
             insert_pct: w.insert_pct,
@@ -134,6 +202,12 @@ impl Sample {
         self
     }
 
+    /// Attaches the cell's contention telemetry delta.
+    pub fn with_telemetry(mut self, telemetry: TelemetryRecord) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     fn to_json(&self) -> Json {
         let mut fields = vec![
             ("experiment".into(), Json::Str(self.experiment.clone())),
@@ -141,6 +215,9 @@ impl Sample {
         ];
         if let Some(r) = &self.reclaimer {
             fields.push(("reclaimer".into(), Json::Str(r.clone())));
+        }
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry".into(), t.to_json()));
         }
         fields.extend([
             ("threads".into(), Json::Num(self.threads as f64)),
@@ -188,6 +265,10 @@ impl Sample {
                 .get("reclaimer")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            telemetry: value
+                .get("telemetry")
+                .map(TelemetryRecord::from_json)
+                .transpose()?,
             threads: u64_field("threads")? as usize,
             read_pct: u64_field("read_pct")? as u8,
             insert_pct: u64_field("insert_pct")? as u8,
@@ -382,6 +463,22 @@ pub fn validate_schema(doc: &Json) -> Result<Vec<Sample>, String> {
         if s.experiment == "e10" && s.reclaimer.is_none() {
             return Err(format!("sample {i}: e10 sample missing reclaimer tag"));
         }
+        if let Some(t) = &s.telemetry {
+            // The conservation invariant holds by construction in cds-obs
+            // (`cas_outcome` records the attempt and its outcome together),
+            // so any violation here means a corrupted or hand-edited file.
+            let (attempts, ok, failed) = (
+                t.get("cas_attempt"),
+                t.get("cas_success"),
+                t.get("cas_failure"),
+            );
+            if attempts != ok + failed {
+                return Err(format!(
+                    "sample {i}: telemetry CAS counts not conserved \
+                     ({attempts} attempts != {ok} successes + {failed} failures)"
+                ));
+            }
+        }
         samples.push(s);
     }
     Ok(samples)
@@ -436,6 +533,58 @@ pub fn validate_e11_resize(doc: &Json, samples: &[Sample]) -> Result<(), String>
         return Err(format!(
             "e11_resizing_doublings {doublings} < 3: the sweep never exercised growth"
         ));
+    }
+    Ok(())
+}
+
+/// Checks the E12 contention sweep: every implementation in [`E12_IMPLS`]
+/// must appear among the `e12` samples, and the document must record the
+/// `telemetry_enabled` extra (1 when the bench binary was built with the
+/// `telemetry` feature, 0 otherwise). When it is 1, every e12 sample must
+/// carry a telemetry record, the CAS structures must have observed
+/// attempts, and the lock must have observed spin iterations — a silent
+/// all-zero sweep would mean the instrumentation came unwired.
+pub fn validate_e12_contention(doc: &Json, samples: &[Sample]) -> Result<(), String> {
+    let missing: Vec<&str> = E12_IMPLS
+        .iter()
+        .filter(|name| {
+            !samples
+                .iter()
+                .any(|s| s.experiment == "e12" && s.impl_name == **name)
+        })
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "e12 missing implementations: {}",
+            missing.join(", ")
+        ));
+    }
+    let enabled = doc
+        .get("extras")
+        .and_then(|e| e.get("telemetry_enabled"))
+        .and_then(Json::as_f64)
+        .ok_or("e12 present but extras.telemetry_enabled missing")?;
+    if enabled == 0.0 {
+        return Ok(());
+    }
+    for s in samples.iter().filter(|s| s.experiment == "e12") {
+        let t = s.telemetry.as_ref().ok_or_else(|| {
+            format!(
+                "telemetry_enabled=1 but e12 sample ({}, {} threads) has no telemetry record",
+                s.impl_name, s.threads
+            )
+        })?;
+        let signal = match s.impl_name.as_str() {
+            "ttas+backoff" => t.get("ttas_spin") + t.get("ttas_acquire"),
+            _ => t.get("cas_attempt"),
+        };
+        if signal == 0 {
+            return Err(format!(
+                "e12 sample ({}, {} threads): telemetry record carries no contention signal",
+                s.impl_name, s.threads
+            ));
+        }
     }
     Ok(())
 }

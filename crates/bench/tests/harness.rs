@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use cds_bench::json::Json;
 use cds_bench::report::{
-    validate_coverage, validate_e10_backends, validate_e11_resize, validate_schema, ALL_EXPERIMENTS,
+    validate_coverage, validate_e10_backends, validate_e11_resize, validate_e12_contention,
+    validate_schema, TelemetryRecord, ALL_EXPERIMENTS, E12_IMPLS,
 };
 use cds_bench::{
     prefill_map, prefill_pq, prefill_set, set_run, LatencyHistogram, MixedOp, OpStream, Report,
@@ -173,6 +174,23 @@ fn fake_sample(experiment: &str, threads: usize) -> Sample {
         p90_ns: 310,
         p99_ns: 1_900,
         p999_ns: 22_000,
+        // E12 samples must carry a counter record whenever the document
+        // says telemetry was enabled (schema v4).
+        telemetry: (experiment == "e12").then(fake_telemetry),
+    }
+}
+
+/// A conserved counter record with a nonzero contention signal for both
+/// the CAS-based and the lock-based e12 implementations.
+fn fake_telemetry() -> TelemetryRecord {
+    TelemetryRecord {
+        counters: vec![
+            ("cas_attempt".to_string(), 100),
+            ("cas_success".to_string(), 90),
+            ("cas_failure".to_string(), 10),
+            ("ttas_acquire".to_string(), 40),
+            ("ttas_spin".to_string(), 7),
+        ],
     }
 }
 
@@ -196,13 +214,23 @@ fn emitted_json_round_trips_and_validates() {
         report.push(s);
     }
     report.push_extra("e11_resizing_doublings", 48.0);
+    // The e12 contention sweep must cover its three implementations, and
+    // with telemetry_enabled = 1 every e12 sample must carry a conserved
+    // counter record (schema v4).
+    for name in E12_IMPLS {
+        let mut s = fake_sample("e12", 1);
+        s.impl_name = name.to_string();
+        report.push(s);
+    }
+    report.push_extra("telemetry_enabled", 1.0);
 
     let text = report.to_json().to_string_pretty();
     let doc = Json::parse(&text).expect("emitted JSON must parse");
     let samples = validate_schema(&doc).expect("emitted JSON must satisfy the schema");
-    validate_coverage(&samples).expect("all eleven experiments present");
+    validate_coverage(&samples).expect("all twelve experiments present");
     validate_e10_backends(&samples).expect("all four reclamation backends present");
     validate_e11_resize(&doc, &samples).expect("resize sweep covers both maps and grew");
+    validate_e12_contention(&doc, &samples).expect("contention sweep carries its records");
 
     // Field-for-field round trip.
     assert_eq!(samples.len(), report.samples.len());
@@ -211,7 +239,7 @@ fn emitted_json_round_trips_and_validates() {
     }
     // Document metadata survives too.
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(3));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
     assert!(doc
         .get("host")
         .and_then(|h| h.get("hardware_threads"))
@@ -307,6 +335,32 @@ fn schema_validation_rejects_bad_documents() {
     assert!(validate_e11_resize(&doc, &samples)
         .unwrap_err()
         .contains("never exercised growth"));
+
+    // A telemetry record whose CAS counts do not add up is rejected at
+    // the schema layer (conservation holds by construction in cds-obs,
+    // so a violation means a corrupted document).
+    let mut skewed = Report::new("quick", Warmup::quick());
+    let mut t = fake_telemetry();
+    t.counters.retain(|(name, _)| name != "cas_failure");
+    skewed.push(fake_sample("e1", 1).with_telemetry(t));
+    let doc = Json::parse(&skewed.to_json().to_string_pretty()).unwrap();
+    assert!(validate_schema(&doc).unwrap_err().contains("not conserved"));
+
+    // A document claiming telemetry_enabled = 1 whose e12 samples carry
+    // no records fails the contention check.
+    let mut bare = Report::new("quick", Warmup::quick());
+    for name in E12_IMPLS {
+        let mut s = fake_sample("e12", 1);
+        s.impl_name = name.to_string();
+        s.telemetry = None;
+        bare.push(s);
+    }
+    bare.push_extra("telemetry_enabled", 1.0);
+    let doc = Json::parse(&bare.to_json().to_string_pretty()).unwrap();
+    let samples = validate_schema(&doc).expect("schema itself is fine");
+    assert!(validate_e12_contention(&doc, &samples)
+        .unwrap_err()
+        .contains("no telemetry record"));
 }
 
 #[test]

@@ -41,6 +41,10 @@
 mod bound;
 pub mod stress;
 
+/// Contention telemetry (re-export of [`cds_obs`]): allocation-free event
+/// counters compiled in by the `telemetry` feature, no-ops otherwise.
+pub use cds_obs as telemetry;
+
 pub use bound::Bound;
 
 /// A thread-safe last-in-first-out stack.

@@ -111,15 +111,19 @@ impl ConcurrentCounter for CombiningTreeCounter {
         loop {
             cds_core::stress::yield_point();
             let node = &self.nodes[index];
-            if node
+            let elected = node
                 .combining
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(elected);
+            if elected {
                 // We are the combiner here: absorb parked deltas and climb.
                 carry += node.pending.swap(0, Ordering::AcqRel);
                 node.combining.store(false, Ordering::Release);
                 if index == 0 {
+                    // One full climb committed at the root = one combining
+                    // round (the tree analogue of a flat-combining pass).
+                    cds_obs::count(cds_obs::Event::FcCombineRounds);
                     self.root.fetch_add(carry, Ordering::AcqRel);
                     return;
                 }

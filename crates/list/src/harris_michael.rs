@@ -100,20 +100,24 @@ impl<T: Ord, R: Reclaimer> HarrisMichaelList<T, R> {
                 let next = curr_ref.next.load(Ordering::Acquire, guard);
                 if next.tag() == MARK {
                     // `curr` is logically deleted: help unlink it.
-                    match prev.compare_exchange(
-                        curr.with_tag(0),
-                        next.with_tag(0),
-                        Ordering::AcqRel,
-                        Ordering::Relaxed,
-                        guard,
-                    ) {
-                        Ok(_) => {
-                            // SAFETY: we unlinked it; readers may linger.
-                            unsafe { guard.retire(curr) };
-                            curr = next.with_tag(0);
-                        }
+                    let unlinked = prev
+                        .compare_exchange(
+                            curr.with_tag(0),
+                            next.with_tag(0),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                            guard,
+                        )
+                        .is_ok();
+                    cds_obs::cas_outcome(unlinked);
+                    if unlinked {
+                        // SAFETY: we unlinked it; readers may linger.
+                        unsafe { guard.retire(curr) };
+                        curr = next.with_tag(0);
+                    } else {
                         // Someone changed prev under us; start over.
-                        Err(_) => continue 'retry,
+                        cds_obs::count(cds_obs::Event::HarrisMichaelRetry);
+                        continue 'retry;
                     }
                 } else {
                     match curr_ref.key.cmp(key) {
@@ -164,8 +168,13 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for HarrisMichaelList<
                 Ordering::Relaxed,
                 &guard,
             ) {
-                Ok(_) => return true,
+                Ok(_) => {
+                    cds_obs::cas_outcome(true);
+                    return true;
+                }
                 Err(_) => {
+                    cds_obs::cas_outcome(false);
+                    cds_obs::count(cds_obs::Event::HarrisMichaelRetry);
                     // SAFETY: publish failed, the node is still ours.
                     node = unsafe { node_shared.into_owned() };
                     backoff.spin();
@@ -188,11 +197,12 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for HarrisMichaelList<
             let next = curr_ref.next.load(Ordering::Acquire, &guard);
             if next.tag() == MARK {
                 // Someone else is deleting it right now.
+                cds_obs::count(cds_obs::Event::HarrisMichaelRetry);
                 backoff.spin();
                 continue;
             }
             // Step 1: logical delete (linearization point).
-            if curr_ref
+            let marked = curr_ref
                 .next
                 .compare_exchange(
                     next.with_tag(0),
@@ -201,25 +211,30 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for HarrisMichaelList<
                     Ordering::Relaxed,
                     &guard,
                 )
-                .is_err()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(marked);
+            if !marked {
+                cds_obs::count(cds_obs::Event::HarrisMichaelRetry);
                 backoff.spin();
                 continue;
             }
             // Step 2: physical unlink (best-effort; find() will help).
-            match prev.compare_exchange(
-                curr.with_tag(0),
-                next.with_tag(0),
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-                &guard,
-            ) {
+            let unlinked = prev
+                .compare_exchange(
+                    curr.with_tag(0),
+                    next.with_tag(0),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                    &guard,
+                )
+                .is_ok();
+            cds_obs::cas_outcome(unlinked);
+            if unlinked {
                 // SAFETY: unlinked by us exactly once.
-                Ok(_) => unsafe { guard.retire(curr) },
+                unsafe { guard.retire(curr) }
+            } else {
                 // A helper will (or did) unlink and defer it.
-                Err(_) => {
-                    let _ = self.find(value, &guard);
-                }
+                let _ = self.find(value, &guard);
             }
             return true;
         }

@@ -271,10 +271,11 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
     }
 
     /// Moves old bucket `idx` of `old` into `new` (old bucket `i` splits
-    /// into new buckets `i` and `i + m`). Idempotent: returns without
-    /// effect if the bucket already migrated. The thread that moves the
-    /// last bucket promotes `new` to the shard's current table and retires
-    /// `old` through `guard`.
+    /// into new buckets `i` and `i + m`). Idempotent: returns `false`
+    /// without effect if the bucket already migrated, `true` if this call
+    /// performed the move. The thread that moves the last bucket promotes
+    /// `new` to the shard's current table and retires `old` through
+    /// `guard`.
     fn migrate_bucket(
         &self,
         shard: &Shard<K, V>,
@@ -282,7 +283,7 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
         new_ptr: Shared<'_, Table<K, V>>,
         idx: usize,
         guard: &R::Guard,
-    ) {
+    ) -> bool {
         // SAFETY: both tables are protected by the caller's blanket guard.
         let old = unsafe { old_ptr.deref() };
         let new = unsafe { new_ptr.deref() };
@@ -292,7 +293,7 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
         cds_core::stress::yield_point();
         let mut src = old.buckets[idx].lock();
         if src.migrated {
-            return;
+            return false;
         }
         cds_core::stress::yield_point();
 
@@ -325,6 +326,7 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
         }
         src.migrated = true;
         drop(src);
+        cds_obs::count(cds_obs::Event::ResizeBucketsMoved);
 
         // Count the transition exactly once (we own the false→true edge).
         if old.done.fetch_add(1, Ordering::AcqRel) + 1 == m {
@@ -332,11 +334,13 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
             // Every bucket has moved: promote the successor. Operations
             // that start after this CAS can no longer reach `old`, which
             // is precisely the retire contract.
-            if shard
+            let promoted = shard
                 .current
                 .compare_exchange(old_ptr, new_ptr, Ordering::AcqRel, Ordering::Acquire, guard)
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(promoted);
+            if promoted {
+                cds_obs::count(cds_obs::Event::ResizePromoterWins);
                 self.doublings.fetch_add(1, Ordering::Relaxed);
                 // SAFETY: non-null, allocated via Atomic/Owned, severed
                 // from `current` by the CAS above, retired once (only the
@@ -344,6 +348,7 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
                 unsafe { guard.retire(old_ptr) };
             }
         }
+        true
     }
 
     /// Claims and moves up to [`HELP_BATCH`] buckets of the in-flight
@@ -359,15 +364,24 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
         // SAFETY: protected by the caller's blanket guard.
         let old = unsafe { old_ptr.deref() };
         let m = old.buckets.len();
+        let mut claimed = false;
+        let mut moved = 0u64;
         for _ in 0..HELP_BATCH {
             if old.claim.load(Ordering::Relaxed) >= m {
-                return;
+                break;
             }
             let idx = old.claim.fetch_add(1, Ordering::Relaxed);
             if idx >= m {
-                return;
+                break;
             }
-            self.migrate_bucket(shard, old_ptr, new_ptr, idx, guard);
+            claimed = true;
+            if self.migrate_bucket(shard, old_ptr, new_ptr, idx, guard) {
+                moved += 1;
+            }
+        }
+        if claimed {
+            cds_obs::count(cds_obs::Event::ResizeBatchesHelped);
+            cds_obs::add(cds_obs::Event::ResizeBatchOps, moved);
         }
     }
 
@@ -390,8 +404,12 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
             Ordering::Acquire,
             guard,
         ) {
-            Ok(_) => fresh,
+            Ok(_) => {
+                cds_obs::cas_outcome(true);
+                fresh
+            }
             Err(existing) => {
+                cds_obs::cas_outcome(false);
                 // Another thread won the install; free our candidate —
                 // it was never published.
                 // SAFETY: `fresh` lost the CAS and is ours alone.
@@ -429,7 +447,11 @@ impl<K: Hash + Eq, V, S: BuildHasher, R: Reclaimer> ResizingMap<K, V, S, R> {
                 // first (idempotent), help a bounded batch, then operate
                 // on the successor.
                 let idx = hash as usize & table.mask();
-                self.migrate_bucket(shard, table_ptr, next_ptr, idx, &guard);
+                if self.migrate_bucket(shard, table_ptr, next_ptr, idx, &guard) {
+                    // Own-bucket moves count toward batch ops so that
+                    // buckets-moved == Σ batch sizes holds exactly.
+                    cds_obs::add(cds_obs::Event::ResizeBatchOps, 1);
+                }
                 self.help_migrate(shard, table_ptr, next_ptr, &guard);
                 // SAFETY: protected by the blanket guard.
                 (unsafe { next_ptr.deref() }, next_ptr)

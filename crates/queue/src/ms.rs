@@ -107,19 +107,19 @@ impl<T, R: Reclaimer> MsQueue<T, R> {
             if !next.is_null() {
                 // Tail is lagging: help swing it and retry. `next` is not
                 // dereferenced, so it needs no protection.
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::Release,
-                    Ordering::Relaxed,
-                    guard,
-                );
+                let swung = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::Release, Ordering::Relaxed, guard)
+                    .is_ok();
+                cds_obs::cas_outcome(swung);
+                cds_obs::count(cds_obs::Event::MsQueueRetry);
                 continue;
             }
             // Even if `t` was dequeued after the protect, its `next` became
             // non-null before retirement and never returns to null, so this
             // CAS can only succeed while `t` is the live tail.
-            if t.next
+            let linked = t
+                .next
                 .compare_exchange(
                     Shared::null(),
                     node,
@@ -127,18 +127,18 @@ impl<T, R: Reclaimer> MsQueue<T, R> {
                     Ordering::Relaxed,
                     guard,
                 )
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(linked);
+            if linked {
                 // Linked; swing the tail (failure is fine — someone helped).
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    node,
-                    Ordering::Release,
-                    Ordering::Relaxed,
-                    guard,
-                );
+                let swung = self
+                    .tail
+                    .compare_exchange(tail, node, Ordering::Release, Ordering::Relaxed, guard)
+                    .is_ok();
+                cds_obs::cas_outcome(swung);
                 return;
             }
+            cds_obs::count(cds_obs::Event::MsQueueRetry);
             backoff.spin();
         }
     }
@@ -158,6 +158,7 @@ impl<T, R: Reclaimer> MsQueue<T, R> {
             // it), so the already-published hazard keeps it alive.
             let next = guard.protect_ptr(SLOT_NEXT, next);
             if self.head.load(Ordering::Acquire, guard) != head {
+                cds_obs::count(cds_obs::Event::MsQueueRetry);
                 backoff.spin();
                 continue;
             }
@@ -167,19 +168,18 @@ impl<T, R: Reclaimer> MsQueue<T, R> {
             // never lags behind the head.
             let tail = self.tail.load(Ordering::Relaxed, guard);
             if head == tail {
-                let _ = self.tail.compare_exchange(
-                    tail,
-                    next,
-                    Ordering::Release,
-                    Ordering::Relaxed,
-                    guard,
-                );
+                let swung = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::Release, Ordering::Relaxed, guard)
+                    .is_ok();
+                cds_obs::cas_outcome(swung);
             }
-            if self
+            let unlinked = self
                 .head
                 .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, guard)
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(unlinked);
+            if unlinked {
                 // SAFETY: winning the head CAS gives us unique rights to
                 // `next`'s value (it becomes the new sentinel); the old
                 // sentinel may still be read by peers, so retire it.
@@ -189,6 +189,7 @@ impl<T, R: Reclaimer> MsQueue<T, R> {
                     return Some(value);
                 }
             }
+            cds_obs::count(cds_obs::Event::MsQueueRetry);
             backoff.spin();
         }
     }

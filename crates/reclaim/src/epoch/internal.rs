@@ -170,6 +170,7 @@ impl Global {
             eligible
         };
         let n = eligible.len();
+        cds_obs::add(cds_obs::Event::FreedEbr, n as u64);
         for d in eligible {
             d.call();
         }
@@ -186,7 +187,9 @@ impl Drop for Global {
     fn drop(&mut self) {
         // No participants can remain (each holds an `Arc<Global>`), so all
         // garbage is unreachable and safe to free.
-        for (_, d) in self.garbage.get_mut().unwrap().drain(..) {
+        let garbage = self.garbage.get_mut().unwrap();
+        cds_obs::add(cds_obs::Event::FreedEbr, garbage.len() as u64);
+        for (_, d) in garbage.drain(..) {
             d.call();
         }
     }

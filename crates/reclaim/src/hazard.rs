@@ -162,6 +162,9 @@ impl Domain {
             stamp,
         });
         let n = self.retired_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if cds_obs::enabled() {
+            cds_obs::record_max(cds_obs::Event::PeakGarbageHazard, n as u64);
+        }
         if n >= SCAN_THRESHOLD {
             self.scan();
         }
@@ -216,6 +219,7 @@ impl Domain {
         // Subtract (rather than overwrite) so concurrent `retire`
         // increments are not lost and the scan threshold keeps firing.
         self.retired_count.fetch_sub(n, Ordering::Relaxed);
+        cds_obs::add(cds_obs::Event::FreedHazard, n as u64);
         for r in to_free {
             // SAFETY: `r` was retired before the steal, so its unlink
             // precedes the slot reads above; no hazard covers `r.ptr` and

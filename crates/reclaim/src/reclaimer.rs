@@ -184,8 +184,15 @@ impl ReclaimGuard for epoch::Guard {
     }
 
     unsafe fn retire<T>(&self, ptr: Shared<'_, T>) {
+        cds_obs::count(cds_obs::Event::RetiredEbr);
         // SAFETY: forwarded contract.
         unsafe { self.defer_destroy(ptr) }
+        if cds_obs::enabled() {
+            cds_obs::record_max(
+                cds_obs::Event::PeakGarbageEbr,
+                Ebr::retired_backlog() as u64,
+            );
+        }
     }
 }
 
@@ -230,6 +237,7 @@ impl ReclaimGuard for LeakGuard {
     unsafe fn retire<T>(&self, _ptr: Shared<'_, T>) {
         // Intentionally leaked: retired nodes are never freed, so every
         // stale pointer stays valid forever.
+        cds_obs::count(cds_obs::Event::RetiredLeak);
     }
 }
 
@@ -374,6 +382,7 @@ impl ReclaimGuard for HazardGuard {
     }
 
     unsafe fn retire<T>(&self, ptr: Shared<'_, T>) {
+        cds_obs::count(cds_obs::Event::RetiredHazard);
         // SAFETY: forwarded contract; the domain stamps the node with the
         // current era and scans hazards + eras before freeing.
         unsafe { Hazard::domain().retire(ptr.as_raw()) }
@@ -456,6 +465,7 @@ fn debug_drain(reg: &'static DebugRegistry) {
         }
         q
     };
+    cds_obs::add(cds_obs::Event::FreedDebug, drained.len() as u64);
     for r in drained {
         // SAFETY: retired exactly once (enforced above) and unreachable
         // to every live and future guard.
@@ -566,6 +576,13 @@ impl ReclaimGuard for DebugGuard {
             addr,
             dtor: dtor::<T>,
         });
+        cds_obs::count(cds_obs::Event::RetiredDebug);
+        if cds_obs::enabled() {
+            cds_obs::record_max(
+                cds_obs::Event::PeakGarbageDebug,
+                inner.quarantine.len() as u64,
+            );
+        }
     }
 }
 

@@ -121,22 +121,26 @@ impl<T: Ord, R: Reclaimer> LockFreeSkipList<T, R> {
                     let next = curr_ref.next[l].load(Ordering::Acquire, guard);
                     if next.tag() == MARK {
                         // curr is deleted at this level: snip it.
-                        match unsafe { pred.deref() }.next[l].compare_exchange(
-                            curr.with_tag(0),
-                            next.with_tag(0),
-                            Ordering::AcqRel,
-                            Ordering::Relaxed,
-                            guard,
-                        ) {
-                            Ok(_) => {
-                                if l == 0 {
-                                    // SAFETY: see type-level docs — at level
-                                    // 0 the node is globally unreachable.
-                                    unsafe { guard.retire(curr) };
-                                }
-                                curr = next.with_tag(0);
+                        let snipped = unsafe { pred.deref() }.next[l]
+                            .compare_exchange(
+                                curr.with_tag(0),
+                                next.with_tag(0),
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                                guard,
+                            )
+                            .is_ok();
+                        cds_obs::cas_outcome(snipped);
+                        if snipped {
+                            if l == 0 {
+                                // SAFETY: see type-level docs — at level
+                                // 0 the node is globally unreachable.
+                                unsafe { guard.retire(curr) };
                             }
-                            Err(_) => continue 'retry,
+                            curr = next.with_tag(0);
+                        } else {
+                            cds_obs::count(cds_obs::Event::SkiplistRetry);
+                            continue 'retry;
                         }
                     } else if curr_ref.key.cmp_key(key) == CmpOrdering::Less {
                         pred = curr;
@@ -183,7 +187,7 @@ impl<T: Ord, R: Reclaimer> LockFreeSkipList<T, R> {
                     if next.tag() == MARK {
                         break;
                     }
-                    if curr_ref.next[l]
+                    let marked = curr_ref.next[l]
                         .compare_exchange(
                             next,
                             next.with_tag(MARK),
@@ -191,10 +195,12 @@ impl<T: Ord, R: Reclaimer> LockFreeSkipList<T, R> {
                             Ordering::Relaxed,
                             &guard,
                         )
-                        .is_ok()
-                    {
+                        .is_ok();
+                    cds_obs::cas_outcome(marked);
+                    if marked {
                         break;
                     }
+                    cds_obs::count(cds_obs::Event::SkiplistRetry);
                 }
             }
             // Claim the bottom level.
@@ -204,7 +210,7 @@ impl<T: Ord, R: Reclaimer> LockFreeSkipList<T, R> {
                 curr = next.with_tag(0);
                 continue;
             }
-            if curr_ref.next[0]
+            let claimed = curr_ref.next[0]
                 .compare_exchange(
                     next,
                     next.with_tag(MARK),
@@ -212,8 +218,9 @@ impl<T: Ord, R: Reclaimer> LockFreeSkipList<T, R> {
                     Ordering::Relaxed,
                     &guard,
                 )
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(claimed);
+            if claimed {
                 let key = curr_ref
                     .key
                     .finite()
@@ -225,6 +232,7 @@ impl<T: Ord, R: Reclaimer> LockFreeSkipList<T, R> {
             }
             // Bottom CAS failed: either claimed or a node was inserted
             // right after curr; re-examine curr.
+            cds_obs::count(cds_obs::Event::SkiplistRetry);
         }
     }
 
@@ -317,8 +325,13 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                 Ordering::Relaxed,
                 &guard,
             ) {
-                Ok(_) => break staged,
+                Ok(_) => {
+                    cds_obs::cas_outcome(true);
+                    break staged;
+                }
                 Err(_) => {
+                    cds_obs::cas_outcome(false);
+                    cds_obs::count(cds_obs::Event::SkiplistRetry);
                     // SAFETY: unpublished.
                     node = unsafe { staged.into_owned() };
                     backoff.spin();
@@ -342,7 +355,7 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                 let succ = succs[l];
                 if succ != cur_next {
                     // Refresh our forward pointer before exposing the level.
-                    if node_ref.next[l]
+                    let refreshed = node_ref.next[l]
                         .compare_exchange(
                             cur_next,
                             succ,
@@ -350,8 +363,10 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                             Ordering::Relaxed,
                             &guard,
                         )
-                        .is_err()
-                    {
+                        .is_ok();
+                    cds_obs::cas_outcome(refreshed);
+                    if !refreshed {
+                        cds_obs::count(cds_obs::Event::SkiplistRetry);
                         continue; // re-examine (possibly marked now)
                     }
                 }
@@ -361,7 +376,7 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                     break;
                 }
                 // SAFETY: pinned.
-                if unsafe { preds[l].deref() }.next[l]
+                let linked = unsafe { preds[l].deref() }.next[l]
                     .compare_exchange(
                         succ,
                         node_shared,
@@ -369,10 +384,12 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                         Ordering::Relaxed,
                         &guard,
                     )
-                    .is_ok()
-                {
+                    .is_ok();
+                cds_obs::cas_outcome(linked);
+                if linked {
                     break; // level linked
                 }
+                cds_obs::count(cds_obs::Event::SkiplistRetry);
                 // Stale view: recompute and retry this level.
                 let (found, p, s) = self.find(key_ref, &guard);
                 if !found {
@@ -403,7 +420,7 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                 if next.tag() == MARK {
                     break;
                 }
-                if victim_ref.next[l]
+                let marked = victim_ref.next[l]
                     .compare_exchange(
                         next,
                         next.with_tag(MARK),
@@ -411,10 +428,12 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                         Ordering::Relaxed,
                         &guard,
                     )
-                    .is_ok()
-                {
+                    .is_ok();
+                cds_obs::cas_outcome(marked);
+                if marked {
                     break;
                 }
+                cds_obs::count(cds_obs::Event::SkiplistRetry);
             }
         }
         // Bottom level decides the winner.
@@ -425,7 +444,7 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
             if next.tag() == MARK {
                 return false; // another remover won
             }
-            if victim_ref.next[0]
+            let won = victim_ref.next[0]
                 .compare_exchange(
                     next,
                     next.with_tag(MARK),
@@ -433,12 +452,14 @@ impl<T: Ord + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeSkipList<T
                     Ordering::Relaxed,
                     &guard,
                 )
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(won);
+            if won {
                 // Physically unlink everywhere (level-0 snipper retires it).
                 let _ = self.find(value, &guard);
                 return true;
             }
+            cds_obs::count(cds_obs::Event::SkiplistRetry);
             backoff.spin();
         }
     }

@@ -116,6 +116,10 @@ impl<T> EliminationArray<T> {
             if offer.state.load(Ordering::Acquire) == TAKEN {
                 return Ok(());
             }
+            // No-op outside stress builds (the spin budget *is* the
+            // elimination window); under the scheduler this lets a popper
+            // run mid-window, so elimination stays reachable.
+            cds_core::stress::yield_point();
             core::hint::spin_loop();
         }
 
@@ -138,8 +142,12 @@ impl<T> EliminationArray<T> {
 
         // A popper claimed the offer between our timeout and the retract
         // CAS; it will set TAKEN after moving the value out. We must not
-        // return (deallocating `offer`) until then.
+        // return (deallocating `offer`) until then. This wait is unbounded,
+        // so it needs a yield point: under the stress scheduler the claimer
+        // may be descheduled between its claim CAS and its TAKEN store, and
+        // a bare spin here would burn the whole fairness bound.
         while offer.state.load(Ordering::Acquire) != TAKEN {
+            cds_core::stress::yield_point();
             core::hint::spin_loop();
         }
         Ok(())
@@ -246,6 +254,7 @@ impl<T: Send + 'static> ConcurrentStack<T> for EliminationBackoffStack<T> {
     const NAME: &'static str = "elimination";
 
     fn push(&self, value: T) {
+        cds_obs::count(cds_obs::Event::ElimPush);
         let mut value = value;
         loop {
             cds_core::stress::yield_point();
@@ -255,21 +264,30 @@ impl<T: Send + 'static> ConcurrentStack<T> for EliminationBackoffStack<T> {
             }
             // Head contention: try to eliminate against a pop.
             match self.elim.exchange_push(value, self.elimination_spins) {
-                Ok(()) => return,
-                Err(v) => value = v,
+                Ok(()) => {
+                    cds_obs::count(cds_obs::Event::ElimHitPush);
+                    return;
+                }
+                Err(v) => {
+                    cds_obs::count(cds_obs::Event::ElimMiss);
+                    value = v;
+                }
             }
         }
     }
 
     fn pop(&self) -> Option<T> {
+        cds_obs::count(cds_obs::Event::ElimPop);
         loop {
             cds_core::stress::yield_point();
             if let Ok(result) = self.stack.try_pop() {
                 return result;
             }
             if let Some(v) = self.elim.exchange_pop() {
+                cds_obs::count(cds_obs::Event::ElimHitPop);
                 return Some(v);
             }
+            cds_obs::count(cds_obs::Event::ElimMiss);
         }
     }
 

@@ -96,13 +96,15 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
             // SAFETY: `node` is ours until the CAS below publishes it.
             unsafe { node.deref() }.next.store(head, Ordering::Relaxed);
             // Release: publish the node's initialization with the link.
-            if self
+            let linked = self
                 .head
                 .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, guard)
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(linked);
+            if linked {
                 return;
             }
+            cds_obs::count(cds_obs::Event::TreiberRetry);
             backoff.spin();
         }
     }
@@ -120,10 +122,11 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
         let head = self.head.load(Ordering::Relaxed, &guard);
         // SAFETY: `node` is unpublished.
         unsafe { node.deref() }.next.store(head, Ordering::Relaxed);
-        match self
-            .head
-            .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, &guard)
-        {
+        let result =
+            self.head
+                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, &guard);
+        cds_obs::cas_outcome(result.is_ok());
+        match result {
             Ok(_) => Ok(()),
             Err(_) => {
                 // SAFETY: the node was never published; we still own it.
@@ -147,10 +150,11 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
             Some(n) => n,
         };
         let next = node.next.load(Ordering::Relaxed, &guard);
-        match self
-            .head
-            .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, &guard)
-        {
+        let result =
+            self.head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, &guard);
+        cds_obs::cas_outcome(result.is_ok());
+        match result {
             Ok(_) => {
                 // SAFETY: as in `pop_node`.
                 unsafe {
@@ -177,11 +181,12 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
             // SAFETY: protected above; it was allocated by `push`.
             let node = unsafe { head.as_ref() }?;
             let next = node.next.load(Ordering::Relaxed, guard);
-            if self
+            let unlinked = self
                 .head
                 .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, guard)
-                .is_ok()
-            {
+                .is_ok();
+            cds_obs::cas_outcome(unlinked);
+            if unlinked {
                 // SAFETY: winning the CAS makes us the unique owner of the
                 // value; the node itself may still be read by concurrent
                 // poppers, so its destruction goes through the reclaimer.
@@ -191,6 +196,7 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
                     return Some(value);
                 }
             }
+            cds_obs::count(cds_obs::Event::TreiberRetry);
             backoff.spin();
         }
     }

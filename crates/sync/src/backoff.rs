@@ -69,6 +69,7 @@ impl Backoff {
     #[inline]
     pub fn spin(&self) {
         crate::stress::yield_point();
+        cds_obs::count(cds_obs::Event::BackoffRound);
         let step = self.step.get().min(SPIN_LIMIT);
         for _ in 0..(1u32 << step) {
             core::hint::spin_loop();
@@ -87,6 +88,7 @@ impl Backoff {
     #[inline]
     pub fn snooze(&self) {
         crate::stress::yield_point();
+        cds_obs::count(cds_obs::Event::BackoffRound);
         let step = self.step.get();
         if step <= SPIN_LIMIT {
             for _ in 0..(1u32 << step) {

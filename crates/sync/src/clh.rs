@@ -89,12 +89,14 @@ impl RawLock for ClhLock {
         // release — which is us, below, after this loop.
         unsafe {
             while (*pred).locked.load(Ordering::Acquire) {
+                cds_obs::count(cds_obs::Event::ClhSpin);
                 backoff.snooze();
             }
             // The predecessor released and will never touch its node again;
             // we are the only thread holding a reference to it.
             drop(Box::from_raw(pred));
         }
+        cds_obs::count(cds_obs::Event::ClhAcquire);
         ClhToken { node: me }
     }
 

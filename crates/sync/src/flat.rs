@@ -179,6 +179,7 @@ impl<S: FcStructure> FlatCombining<S> {
     fn combine(&self) {
         // SAFETY: the combiner flag gives exclusive access to `data`.
         let data = unsafe { &mut *self.data.get() };
+        let mut serviced = 0u64;
         for slot in self.slots.iter() {
             if slot.state.load(Ordering::Acquire) == PENDING {
                 // SAFETY: PENDING hands the op cell to the combiner.
@@ -187,8 +188,11 @@ impl<S: FcStructure> FlatCombining<S> {
                 // SAFETY: the res cell belongs to the combiner until DONE.
                 unsafe { *slot.res.get() = Some(res) };
                 slot.state.store(DONE, Ordering::Release);
+                serviced += 1;
             }
         }
+        cds_obs::count(cds_obs::Event::FcCombineRounds);
+        cds_obs::add(cds_obs::Event::FcOpsCombined, serviced);
     }
 
     /// Runs `f` on the sequential structure under the combiner lock

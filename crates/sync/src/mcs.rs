@@ -89,10 +89,12 @@ impl RawLock for McsLock {
                 (*pred).next.store(me, Ordering::Release);
                 let backoff = Backoff::new();
                 while (*me).locked.load(Ordering::Acquire) {
+                    cds_obs::count(cds_obs::Event::McsSpin);
                     backoff.snooze();
                 }
             }
         }
+        cds_obs::count(cds_obs::Event::McsAcquire);
         McsToken { node: me }
     }
 
@@ -102,7 +104,10 @@ impl RawLock for McsLock {
             .tail
             .compare_exchange(ptr::null_mut(), me, Ordering::AcqRel, Ordering::Relaxed)
         {
-            Ok(_) => Some(McsToken { node: me }),
+            Ok(_) => {
+                cds_obs::count(cds_obs::Event::McsAcquire);
+                Some(McsToken { node: me })
+            }
             Err(_) => {
                 // SAFETY: `me` was never published.
                 unsafe { drop(Box::from_raw(me)) };

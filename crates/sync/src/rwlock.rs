@@ -68,8 +68,10 @@ impl<T> RwSpinLock<T> {
                     .compare_exchange_weak(s, s + READER, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                cds_obs::count(cds_obs::Event::RwReadAcquire);
                 return RwReadGuard { lock: self };
             }
+            cds_obs::count(cds_obs::Event::RwSpin);
             backoff.snooze();
         }
     }
@@ -83,6 +85,7 @@ impl<T> RwSpinLock<T> {
                 .compare_exchange(s, s + READER, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
         {
+            cds_obs::count(cds_obs::Event::RwReadAcquire);
             Some(RwReadGuard { lock: self })
         } else {
             None
@@ -106,13 +109,16 @@ impl<T> RwSpinLock<T> {
             {
                 break;
             }
+            cds_obs::count(cds_obs::Event::RwSpin);
             backoff.snooze();
         }
         // Phase 2: wait for readers to drain.
         backoff.reset();
         while self.state.load(Ordering::Acquire) != WRITER {
+            cds_obs::count(cds_obs::Event::RwSpin);
             backoff.snooze();
         }
+        cds_obs::count(cds_obs::Event::RwWriteAcquire);
         RwWriteGuard { lock: self }
     }
 
@@ -123,6 +129,7 @@ impl<T> RwSpinLock<T> {
             .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
+            cds_obs::count(cds_obs::Event::RwWriteAcquire);
             Some(RwWriteGuard { lock: self })
         } else {
             None

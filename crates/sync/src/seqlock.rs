@@ -65,8 +65,10 @@ impl<T: Copy> SeqLock<T> {
         let backoff = Backoff::new();
         loop {
             if let Some(v) = self.try_read() {
+                cds_obs::count(cds_obs::Event::SeqlockRead);
                 return v;
             }
+            cds_obs::count(cds_obs::Event::SeqlockReadRetry);
             backoff.snooze();
         }
     }
@@ -112,6 +114,7 @@ impl<T: Copy> SeqLock<T> {
             }
             backoff.snooze();
         };
+        cds_obs::count(cds_obs::Event::SeqlockWrite);
         // SAFETY: the odd sequence value excludes other writers; readers
         // validate against it and discard torn reads.
         let result = f(unsafe { &mut *self.data.get() });

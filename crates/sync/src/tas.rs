@@ -50,8 +50,15 @@ impl RawLock for TasLock {
     #[inline]
     fn lock(&self) {
         while self.locked.swap(true, Ordering::Acquire) {
+            // A bare spin is a scheduling blind spot under the stress
+            // scheduler: the token holder would burn its whole fairness
+            // bound here. Keep the naive TAS spin (the point of this
+            // lock) but give the scheduler a preemption hook.
+            crate::stress::yield_point();
+            cds_obs::count(cds_obs::Event::TasSpin);
             core::hint::spin_loop();
         }
+        cds_obs::count(cds_obs::Event::TasAcquire);
     }
 
     #[inline]
@@ -59,6 +66,7 @@ impl RawLock for TasLock {
         if self.locked.swap(true, Ordering::Acquire) {
             None
         } else {
+            cds_obs::count(cds_obs::Event::TasAcquire);
             Some(())
         }
     }

@@ -55,8 +55,10 @@ impl RawLock for TicketLock {
         loop {
             let serving = self.now_serving.load(Ordering::Acquire);
             if serving == ticket {
+                cds_obs::count(cds_obs::Event::TicketAcquire);
                 return;
             }
+            cds_obs::count(cds_obs::Event::TicketSpin);
             // Proportional backoff: threads far back in line pause longer,
             // reducing pressure on the now-serving line. The trailing
             // `snooze` escalates to `yield_now` so that a FIFO lock does
@@ -79,6 +81,7 @@ impl RawLock for TicketLock {
             .compare_exchange(serving, serving + 1, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
         {
+            cds_obs::count(cds_obs::Event::TicketAcquire);
             Some(())
         } else {
             None

@@ -56,12 +56,15 @@ impl RawLock for TtasLock {
         loop {
             // Test: spin on a plain read until the lock looks free.
             while self.locked.load(Ordering::Relaxed) {
+                cds_obs::count(cds_obs::Event::TtasSpin);
                 backoff.snooze();
             }
             // Test-and-set: race for it.
             if !self.locked.swap(true, Ordering::Acquire) {
+                cds_obs::count(cds_obs::Event::TtasAcquire);
                 return;
             }
+            cds_obs::count(cds_obs::Event::TtasSpin);
             backoff.spin();
         }
     }
@@ -69,6 +72,7 @@ impl RawLock for TtasLock {
     #[inline]
     fn try_lock(&self) -> Option<()> {
         if !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire) {
+            cds_obs::count(cds_obs::Event::TtasAcquire);
             Some(())
         } else {
             None

@@ -198,8 +198,11 @@ impl<T: Ord + Clone, R: Reclaimer> LockFreeBst<T, R> {
         } else {
             &int.right
         };
-        side.compare_exchange(old, new, Ordering::AcqRel, Ordering::Relaxed, guard)
-            .is_ok()
+        let swung = side
+            .compare_exchange(old, new, Ordering::AcqRel, Ordering::Relaxed, guard)
+            .is_ok();
+        cds_obs::cas_outcome(swung);
+        swung
     }
 
     /// Helps whatever operation the update word `word` describes.
@@ -268,10 +271,12 @@ impl<T: Ord + Clone, R: Reclaimer> LockFreeBst<T, R> {
             guard,
         ) {
             Ok(_) => {
+                cds_obs::cas_outcome(true);
                 self.help_marked(op, guard);
                 true
             }
             Err(actual) => {
+                cds_obs::cas_outcome(false);
                 if actual == mark_word {
                     // Another helper already marked it for this very op.
                     self.help_marked(op, guard);
@@ -372,6 +377,7 @@ impl<T: Ord + Clone + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeBs
                 return false;
             }
             if s.pupdate.tag() != CLEAN {
+                cds_obs::count(cds_obs::Event::BstRetry);
                 self.help(s.pupdate, &guard);
                 continue;
             }
@@ -424,12 +430,15 @@ impl<T: Ord + Clone + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeBs
                 &guard,
             ) {
                 Ok(_) => {
+                    cds_obs::cas_outcome(true);
                     // SAFETY: we displaced the previous Clean descriptor.
                     unsafe { Self::retire_displaced(s.pupdate, &guard) };
                     self.help_insert(op, &guard);
                     return true;
                 }
                 Err(actual) => {
+                    cds_obs::cas_outcome(false);
+                    cds_obs::count(cds_obs::Event::BstRetry);
                     // Reclaim the unpublished allocations and recover the key.
                     // SAFETY: none of these were published.
                     unsafe {
@@ -461,10 +470,12 @@ impl<T: Ord + Clone + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeBs
             // A finite leaf is at depth ≥ 2: gp exists.
             debug_assert!(!s.gp.is_null());
             if s.gpupdate.tag() != CLEAN {
+                cds_obs::count(cds_obs::Event::BstRetry);
                 self.help(s.gpupdate, &guard);
                 continue;
             }
             if s.pupdate.tag() != CLEAN {
+                cds_obs::count(cds_obs::Event::BstRetry);
                 self.help(s.pupdate, &guard);
                 continue;
             }
@@ -486,6 +497,7 @@ impl<T: Ord + Clone + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeBs
                 &guard,
             ) {
                 Ok(_) => {
+                    cds_obs::cas_outcome(true);
                     // SAFETY: we displaced the previous Clean descriptor.
                     unsafe { Self::retire_displaced(s.gpupdate, &guard) };
                     if self.help_delete(op, &guard) {
@@ -494,9 +506,12 @@ impl<T: Ord + Clone + Send + Sync, R: Reclaimer> ConcurrentSet<T> for LockFreeBs
                     // Aborted (mark failed): `op` stays reachable from
                     // gp.update in the Clean state and will be retired by
                     // the next successful flag there. Retry.
+                    cds_obs::count(cds_obs::Event::BstRetry);
                     backoff.spin();
                 }
                 Err(actual) => {
+                    cds_obs::cas_outcome(false);
+                    cds_obs::count(cds_obs::Event::BstRetry);
                     // SAFETY: unpublished.
                     unsafe { drop(op.into_owned()) };
                     self.help(actual, &guard);

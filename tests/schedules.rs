@@ -229,6 +229,52 @@ fn scheduled_priority_queue_and_counters_are_linearizable() {
     stress_counter::<cds_counter::FcCounter>(0xc0e2);
 }
 
+/// Lock-primitive-guarded counters run against the same `CounterSpec`: a
+/// `SeqLock<i64>` (writers serialize on the sequence word, readers retry
+/// optimistically) and an `RwSpinLock<i64>`. A torn, stale, or
+/// mid-write read would surface as a non-linearizable `Get`; this is the
+/// schedule-level complement of the primitives' own unit tests.
+#[test]
+fn scheduled_lock_guarded_counters_are_linearizable() {
+    fn gen_counter(rng: &mut cds_core::stress::SplitMix64, _t: usize) -> CounterOp {
+        if rng.below(2) == 0 {
+            CounterOp::Add(1 + rng.below(4) as i64)
+        } else {
+            CounterOp::Get
+        }
+    }
+
+    stress(
+        CounterSpec::default(),
+        &opts(0x5e9c0),
+        || cds_sync::SeqLock::new(0i64),
+        gen_counter,
+        |c, op| match op {
+            CounterOp::Add(d) => {
+                c.update(|v| *v += *d);
+                0
+            }
+            CounterOp::Get => c.read(),
+        },
+    )
+    .unwrap_or_else(|f| panic!("SeqLock-guarded counter not linearizable: {f:?}"));
+
+    stress(
+        CounterSpec::default(),
+        &opts(0x5e9c1),
+        || cds_sync::RwSpinLock::new(0i64),
+        gen_counter,
+        |c, op| match op {
+            CounterOp::Add(d) => {
+                *c.write() += *d;
+                0
+            }
+            CounterOp::Get => *c.read(),
+        },
+    )
+    .unwrap_or_else(|f| panic!("RwSpinLock-guarded counter not linearizable: {f:?}"));
+}
+
 /// Acceptance regression: the memoized checker must decide a 40-operation,
 /// 4-thread window over `QueueSpec` in well under a second (the plain
 /// Wing–Gong search blows up combinatorially on windows this wide).

@@ -1,4 +1,4 @@
-//! Regenerates the evaluation tables (experiments E1–E12 of DESIGN.md) and
+//! Regenerates the evaluation tables (experiments E1–E13 of DESIGN.md) and
 //! emits the machine-readable measurement file.
 //!
 //! ```text
@@ -625,6 +625,23 @@ fn e11_resize(ctx: &mut Ctx) {
         .push_extra("e11_resizing_doublings", max_doublings as f64);
 }
 
+/// The counter delta since `base` as a sample record, nonzero entries
+/// only; `None` when telemetry is compiled out. Shared by the telemetry
+/// sweeps (E12 contention, E13 executor).
+fn capture(base: &cds_obs::Snapshot) -> Option<report::TelemetryRecord> {
+    if !cds_obs::enabled() {
+        return None;
+    }
+    let delta = cds_obs::Snapshot::take().delta(base);
+    Some(report::TelemetryRecord {
+        counters: delta
+            .iter()
+            .filter(|&(_, v)| v != 0)
+            .map(|(e, v)| (e.name().to_string(), v))
+            .collect(),
+    })
+}
+
 fn e12_contention(ctx: &mut Ctx) {
     use cds_bench::report::TelemetryRecord;
 
@@ -638,22 +655,6 @@ fn e12_contention(ctx: &mut Ctx) {
     // spins-per-acquisition tables below are derived. The delta spans
     // warmup plus the timed section, so the ratios are the meaningful
     // reading, not the absolute counts.
-
-    /// The counter delta since `base` as a sample record, nonzero entries
-    /// only; `None` when telemetry is compiled out.
-    fn capture(base: &cds_obs::Snapshot) -> Option<TelemetryRecord> {
-        if !cds_obs::enabled() {
-            return None;
-        }
-        let delta = cds_obs::Snapshot::take().delta(base);
-        Some(TelemetryRecord {
-            counters: delta
-                .iter()
-                .filter(|&(_, v)| v != 0)
-                .map(|(e, v)| (e.name().to_string(), v))
-                .collect(),
-        })
-    }
 
     /// One implementation row: runs every thread count, recording each
     /// cell with its telemetry, and returns the per-cell records for the
@@ -702,11 +703,6 @@ fn e12_contention(ctx: &mut Ctx) {
         (w, stats)
     });
 
-    ctx.report.push_extra(
-        "telemetry_enabled",
-        if cds_obs::enabled() { 1.0 } else { 0.0 },
-    );
-
     if cds_obs::enabled() {
         let ratio = |tel: &Option<TelemetryRecord>, num: &str, den: &str, scale: f64| {
             tel.as_ref().map_or(0.0, |t| {
@@ -735,13 +731,174 @@ fn e12_contention(ctx: &mut Ctx) {
     }
 }
 
+fn e13_executor(ctx: &mut Ctx) {
+    use cds_bench::report::TelemetryRecord;
+    use cds_bench::{LatencyHistogram, LATENCY_SAMPLE_EVERY};
+    use cds_exec::Executor;
+    use std::time::Instant;
+
+    // Work-stealing executor sweep: the pool owns its worker threads, so
+    // the generic `measured_run` harness (which spawns the sweep's
+    // threads itself) does not apply; each cell instead builds a fresh
+    // `t`-worker pool and the driver thread pushes tasks through it. Two
+    // workloads: "spawn-throughput" (flat external spawns, all traffic
+    // through the injector) and "fork-join" (roots forking children from
+    // inside the pool, exercising the local-deque fast path and stealing).
+    // Throughput is tasks completed per second; the latency histogram
+    // samples the driver-side cost of every `LATENCY_SAMPLE_EVERY`-th
+    // `spawn` call (the submission path, including injector overflow to
+    // the unbounded queue). With `--features telemetry` the per-cell
+    // counter deltas additionally yield the steal hit-rate and parking
+    // tables, and `check` enforces the spawned == executed conservation
+    // invariant on every cell.
+
+    /// One measured pool cell: a fresh `t`-worker pool, `warm.max_iters`
+    /// reduced-size warmup rounds, then one timed round of ~`total` tasks
+    /// driven by `drive` (which returns the exact task count it spawned).
+    /// Every round ends in `quiesce`, so at capture time the telemetry
+    /// delta satisfies spawned == executed. No steady-state CoV test:
+    /// pool construction is part of what E13 characterizes, and the
+    /// fixed warmup keeps cells cheap.
+    fn pool_cell(
+        t: usize,
+        total: usize,
+        warm: Warmup,
+        drive: impl Fn(&Executor, usize, &mut LatencyHistogram) -> usize,
+    ) -> (RunStats, Option<TelemetryRecord>) {
+        cds_obs::reset();
+        let base = cds_obs::Snapshot::take();
+        let pool = Executor::new(t);
+        let mut scratch = LatencyHistogram::new();
+        let warm_total = (total / warm.ops_divisor.max(1)).max(1);
+        for _ in 0..warm.max_iters {
+            drive(&pool, warm_total, &mut scratch);
+            pool.quiesce();
+        }
+        let mut hist = LatencyHistogram::new();
+        let start = Instant::now();
+        let actual = drive(&pool, total, &mut hist);
+        pool.quiesce();
+        let span = start.elapsed().as_secs_f64();
+        let tel = capture(&base);
+        pool.shutdown();
+        (
+            RunStats {
+                mops: actual as f64 / span / 1e6,
+                duration_s: span,
+                total_ops: actual,
+                warmup_iters: warm.max_iters,
+                hist,
+            },
+            tel,
+        )
+    }
+
+    /// One workload row across the thread sweep, recording each cell with
+    /// its telemetry delta (mirrors the E12 sweep helper).
+    fn sweep(
+        ctx: &mut Ctx,
+        name: &str,
+        drive: impl Fn(&Executor, usize, &mut LatencyHistogram) -> usize,
+    ) -> Vec<Option<TelemetryRecord>> {
+        let ops = ctx.scale.ops;
+        let warm = ctx.warm;
+        let mut cells = Vec::new();
+        let mut tels = Vec::new();
+        for &t in THREAD_SWEEP {
+            let (stats, tel) = pool_cell(t, ops, warm, &drive);
+            let w = Workload::ops_only(t, ops / t);
+            cells.push(ctx.record_telemetry("e13", name, &w, &stats, tel.clone()));
+            tels.push(tel);
+        }
+        row(name, &cells);
+        tels
+    }
+
+    /// Spawns `task` onto the pool, sampling the submission latency for
+    /// every `LATENCY_SAMPLE_EVERY`-th call.
+    fn timed_spawn(
+        pool: &Executor,
+        i: usize,
+        hist: &mut LatencyHistogram,
+        task: impl FnOnce() + Send + 'static,
+    ) {
+        if i.is_multiple_of(LATENCY_SAMPLE_EVERY) {
+            let t0 = Instant::now();
+            pool.spawn(task);
+            hist.record(t0.elapsed().as_nanos() as u64);
+        } else {
+            pool.spawn(task);
+        }
+    }
+
+    header("E13 — work-stealing executor task throughput (Mtasks/s)");
+    let st = sweep(ctx, "spawn-throughput", |pool, n, hist| {
+        for i in 0..n {
+            timed_spawn(pool, i, hist, move || {
+                std::hint::black_box(i);
+            });
+        }
+        n
+    });
+    let fj = sweep(ctx, "fork-join", |pool, n, hist| {
+        const FAN: usize = 7;
+        let roots = (n / (FAN + 1)).max(1);
+        for i in 0..roots {
+            let handle = pool.handle();
+            timed_spawn(pool, i, hist, move || {
+                for c in 0..FAN {
+                    handle.spawn(move || {
+                        std::hint::black_box(c);
+                    });
+                }
+            });
+        }
+        roots * (FAN + 1)
+    });
+
+    if cds_obs::enabled() {
+        let cells = |tels: &[Option<TelemetryRecord>], f: &dyn Fn(&TelemetryRecord) -> f64| {
+            tels.iter()
+                .map(|t| t.as_ref().map_or(0.0, f))
+                .collect::<Vec<f64>>()
+        };
+        header("E13 — steal hit rate (% of steal attempts)");
+        for (name, tels) in [("spawn-throughput", &st), ("fork-join", &fj)] {
+            let c = cells(tels, &|t| {
+                let hit = t.get("exec_steal_hit") as f64;
+                let miss = t.get("exec_steal_miss") as f64;
+                if hit + miss == 0.0 {
+                    0.0
+                } else {
+                    100.0 * hit / (hit + miss)
+                }
+            });
+            row(name, &c);
+        }
+        header("E13 — parks per 1k executed tasks");
+        for (name, tels) in [("spawn-throughput", &st), ("fork-join", &fj)] {
+            let c = cells(tels, &|t| {
+                let executed = t.get("exec_tasks_executed");
+                if executed == 0 {
+                    0.0
+                } else {
+                    1000.0 * t.get("exec_parks") as f64 / executed as f64
+                }
+            });
+            row(name, &c);
+        }
+    }
+}
+
 /// Validates an existing report file; returns an error description on any
-/// schema violation or missing experiment. With `partial`, e1–e12
+/// schema violation or missing experiment. With `partial`, e1–e13
 /// coverage is not required (for single-experiment runs), but any e10
 /// samples present must still sweep every reclamation backend, any e11
 /// samples must cover both resize-sweep implementations with three or
-/// more recorded doublings, and any e12 samples must cover the contention
-/// sweep (with telemetry records when `extras.telemetry_enabled` is 1).
+/// more recorded doublings, any e12 samples must cover the contention
+/// sweep (with telemetry records when `extras.telemetry_enabled` is 1),
+/// and any e13 samples must cover both executor workloads and — under
+/// telemetry — satisfy the spawned == executed conservation invariant.
 fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
@@ -757,6 +914,9 @@ fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     }
     if !partial || samples.iter().any(|s| s.experiment == "e12") {
         report::validate_e12_contention(&doc, &samples).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if !partial || samples.iter().any(|s| s.experiment == "e13") {
+        report::validate_e13_executor(&doc, &samples).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(samples.len())
 }
@@ -778,7 +938,7 @@ fn main() {
                 println!(
                     "{path}: schema v{} OK, {n} samples, {}e10 backends swept",
                     report::SCHEMA_VERSION,
-                    if partial { "" } else { "e1–e12 covered, " },
+                    if partial { "" } else { "e1–e13 covered, " },
                 );
                 return;
             }
@@ -877,6 +1037,17 @@ fn main() {
     if want("e12") {
         e12_contention(&mut ctx);
     }
+    if want("e13") {
+        e13_executor(&mut ctx);
+    }
+
+    // Recorded once here (not inside an experiment) so any run that emits
+    // JSON — including single-experiment `e12`/`e13` runs whose checks
+    // read it — carries the flag.
+    ctx.report.push_extra(
+        "telemetry_enabled",
+        if cds_obs::enabled() { 1.0 } else { 0.0 },
+    );
 
     if let Some(path) = json_path {
         if let Err(e) = ctx.report.write_file(&path) {
@@ -884,7 +1055,7 @@ fn main() {
             std::process::exit(1);
         }
         // Self-check: the file we just wrote must parse and satisfy the
-        // schema (and cover e1–e11 when the full suite ran).
+        // schema (and cover e1–e13 when the full suite ran).
         let text = std::fs::read_to_string(&path).expect("just wrote it");
         let doc = Json::parse(&text).unwrap_or_else(|e| {
             eprintln!("{path}: emitted invalid JSON: {e}");
@@ -899,6 +1070,7 @@ fn main() {
                 .and_then(|()| report::validate_e10_backends(&samples))
                 .and_then(|()| report::validate_e11_resize(&doc, &samples))
                 .and_then(|()| report::validate_e12_contention(&doc, &samples))
+                .and_then(|()| report::validate_e13_executor(&doc, &samples))
             {
                 eprintln!("{path}: {e}");
                 std::process::exit(1);

@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "generated_by": "cds-bench experiments",
 //!   "mode": "quick" | "full",
 //!   "host": { "hardware_threads": 8, "os": "linux", "arch": "x86_64",
@@ -48,6 +48,14 @@
 //! [`validate_schema`] checks CAS conservation
 //! (`cas_attempts == cas_success + cas_failure`) inside every record.
 //!
+//! Version 5 adds experiment `e13` (the work-stealing executor sweep:
+//! fork/join and spawn-throughput workloads over a thread sweep) to the
+//! required coverage set. E13 samples reuse the v4 telemetry machinery:
+//! when `extras.telemetry_enabled` is 1, [`validate_e13_executor`]
+//! requires a telemetry record on every e13 sample carrying the executor
+//! conservation pair (`exec_tasks_spawned == exec_tasks_executed` at
+//! quiesce) and a nonzero execution signal.
+//!
 //! Latency percentiles are bucket midpoints from the merged per-thread
 //! [`LatencyHistogram`](crate::LatencyHistogram)s (≤3% relative bucket
 //! error) and are sampled — one op in
@@ -63,11 +71,11 @@ use crate::{
 };
 
 /// Version stamped into (and required from) every emitted document.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
-/// The twelve experiment identifiers a complete report must cover.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+/// The thirteen experiment identifiers a complete report must cover.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// The reclamation backends the E10 sweep must cover.
@@ -82,6 +90,11 @@ pub const E11_IMPLS: [&str; 2] = ["resizing", "striped"];
 /// stack and queue (CAS-failure rate vs threads) and a spinning lock
 /// (spin iterations vs threads).
 pub const E12_IMPLS: [&str; 3] = ["treiber", "michael-scott", "ttas+backoff"];
+
+/// The workloads the E13 executor sweep must cover: recursive fork/join
+/// (tasks spawning tasks through the local LIFO deques) and flat spawn
+/// throughput (external submission through the injector).
+pub const E13_WORKLOADS: [&str; 2] = ["fork-join", "spawn-throughput"];
 
 /// Per-cell contention telemetry (schema v4): the delta of the global
 /// `cds-obs` event counters across the cell's run (warmup included —
@@ -582,6 +595,60 @@ pub fn validate_e12_contention(doc: &Json, samples: &[Sample]) -> Result<(), Str
         if signal == 0 {
             return Err(format!(
                 "e12 sample ({}, {} threads): telemetry record carries no contention signal",
+                s.impl_name, s.threads
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the E13 executor sweep: every workload in [`E13_WORKLOADS`]
+/// must appear among the `e13` samples (as `impl`), and when
+/// `extras.telemetry_enabled` is 1 every e13 sample must carry a
+/// telemetry record whose executor counters prove (a) tasks actually ran
+/// (`exec_tasks_executed > 0`) and (b) the conservation invariant held at
+/// quiesce (`exec_tasks_spawned == exec_tasks_executed`) — a mismatch
+/// means the pool lost or duplicated a task during the measured run.
+pub fn validate_e13_executor(doc: &Json, samples: &[Sample]) -> Result<(), String> {
+    let missing: Vec<&str> = E13_WORKLOADS
+        .iter()
+        .filter(|name| {
+            !samples
+                .iter()
+                .any(|s| s.experiment == "e13" && s.impl_name == **name)
+        })
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!("e13 missing workloads: {}", missing.join(", ")));
+    }
+    let enabled = doc
+        .get("extras")
+        .and_then(|e| e.get("telemetry_enabled"))
+        .and_then(Json::as_f64)
+        .ok_or("e13 present but extras.telemetry_enabled missing")?;
+    if enabled == 0.0 {
+        return Ok(());
+    }
+    for s in samples.iter().filter(|s| s.experiment == "e13") {
+        let t = s.telemetry.as_ref().ok_or_else(|| {
+            format!(
+                "telemetry_enabled=1 but e13 sample ({}, {} threads) has no telemetry record",
+                s.impl_name, s.threads
+            )
+        })?;
+        let spawned = t.get("exec_tasks_spawned");
+        let executed = t.get("exec_tasks_executed");
+        if executed == 0 {
+            return Err(format!(
+                "e13 sample ({}, {} threads): executor telemetry shows no executed tasks",
+                s.impl_name, s.threads
+            ));
+        }
+        if spawned != executed {
+            return Err(format!(
+                "e13 sample ({}, {} threads): conservation violated \
+                 (spawned {spawned} != executed {executed})",
                 s.impl_name, s.threads
             ));
         }

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use cds_bench::json::Json;
 use cds_bench::report::{
     validate_coverage, validate_e10_backends, validate_e11_resize, validate_e12_contention,
-    validate_schema, TelemetryRecord, ALL_EXPERIMENTS, E12_IMPLS,
+    validate_e13_executor, validate_schema, TelemetryRecord, ALL_EXPERIMENTS, E12_IMPLS,
+    E13_WORKLOADS,
 };
 use cds_bench::{
     prefill_map, prefill_pq, prefill_set, set_run, LatencyHistogram, MixedOp, OpStream, Report,
@@ -174,9 +175,13 @@ fn fake_sample(experiment: &str, threads: usize) -> Sample {
         p90_ns: 310,
         p99_ns: 1_900,
         p999_ns: 22_000,
-        // E12 samples must carry a counter record whenever the document
-        // says telemetry was enabled (schema v4).
-        telemetry: (experiment == "e12").then(fake_telemetry),
+        // E12/E13 samples must carry a counter record whenever the
+        // document says telemetry was enabled (schema v4/v5).
+        telemetry: match experiment {
+            "e12" => Some(fake_telemetry()),
+            "e13" => Some(fake_exec_telemetry()),
+            _ => None,
+        },
     }
 }
 
@@ -190,6 +195,20 @@ fn fake_telemetry() -> TelemetryRecord {
             ("cas_failure".to_string(), 10),
             ("ttas_acquire".to_string(), 40),
             ("ttas_spin".to_string(), 7),
+        ],
+    }
+}
+
+/// An executor record satisfying the e13 task-conservation invariant
+/// (`exec_tasks_spawned == exec_tasks_executed`, both nonzero).
+fn fake_exec_telemetry() -> TelemetryRecord {
+    TelemetryRecord {
+        counters: vec![
+            ("exec_tasks_spawned".to_string(), 500),
+            ("exec_tasks_executed".to_string(), 500),
+            ("exec_steal_hit".to_string(), 3),
+            ("exec_steal_miss".to_string(), 11),
+            ("exec_parks".to_string(), 2),
         ],
     }
 }
@@ -222,6 +241,13 @@ fn emitted_json_round_trips_and_validates() {
         s.impl_name = name.to_string();
         report.push(s);
     }
+    // The e13 executor sweep must cover both workloads, every sample
+    // carrying a task-conserving record (schema v5).
+    for name in E13_WORKLOADS {
+        let mut s = fake_sample("e13", 1);
+        s.impl_name = name.to_string();
+        report.push(s);
+    }
     report.push_extra("telemetry_enabled", 1.0);
 
     let text = report.to_json().to_string_pretty();
@@ -231,6 +257,7 @@ fn emitted_json_round_trips_and_validates() {
     validate_e10_backends(&samples).expect("all four reclamation backends present");
     validate_e11_resize(&doc, &samples).expect("resize sweep covers both maps and grew");
     validate_e12_contention(&doc, &samples).expect("contention sweep carries its records");
+    validate_e13_executor(&doc, &samples).expect("executor sweep conserves tasks");
 
     // Field-for-field round trip.
     assert_eq!(samples.len(), report.samples.len());
@@ -239,7 +266,7 @@ fn emitted_json_round_trips_and_validates() {
     }
     // Document metadata survives too.
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(4));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
     assert!(doc
         .get("host")
         .and_then(|h| h.get("hardware_threads"))

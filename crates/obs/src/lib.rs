@@ -157,6 +157,28 @@ events! {
     PeakGarbageEbr => "peak_garbage_ebr", Max;
     PeakGarbageHazard => "peak_garbage_hazard", Max;
     PeakGarbageDebug => "peak_garbage_debug", Max;
+
+    // --- cds-queue: Chase-Lev batch steals. `elems` sums every element
+    // moved by a successful `steal_batch_and_pop` (including the popped
+    // one); `max` tracks the largest single batch.
+    DequeStealBatchElems => "deque_steal_batch_elems", Sum;
+    DequeStealBatchMax => "deque_steal_batch_max", Max;
+
+    // --- cds-exec: work-stealing executor. Conservation invariant: at
+    // quiesce, `exec_tasks_spawned == exec_tasks_executed` (each task is
+    // counted once at submission and once when its closure returns).
+    // `steal_hit` counts steals that delivered a task to a worker,
+    // `steal_miss` counts probe rounds that came back empty-handed;
+    // `parks` counts committed parks (a worker actually went to sleep
+    // after the prepare/re-check/commit protocol), and
+    // `injector_overflow` counts spawns that fell past the bounded
+    // injector into the unbounded overflow queue.
+    ExecTasksSpawned => "exec_tasks_spawned", Sum;
+    ExecTasksExecuted => "exec_tasks_executed", Sum;
+    ExecStealHit => "exec_steal_hit", Sum;
+    ExecStealMiss => "exec_steal_miss", Sum;
+    ExecParks => "exec_parks", Sum;
+    ExecInjectorOverflow => "exec_injector_overflow", Sum;
 }
 
 /// Whether the `telemetry` feature is compiled in.

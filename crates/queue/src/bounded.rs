@@ -54,10 +54,17 @@ impl<T> BoundedQueue<T> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero. Capacity is rounded up to the next
-    /// power of two.
+    /// power of two, and to no less than **2**: with a single slot the
+    /// sequence stamp a producer publishes ("value at position `p`",
+    /// stamp `p + 1`) coincides with the stamp a consumer frees the slot
+    /// with ("ready for position `p + 1`", stamp `p + capacity`), so the
+    /// next producer could claim the slot while the consumer is still
+    /// reading it and overwrite an undelivered value. Two slots keep the
+    /// stamps one lap apart, which is what the protocol's full/empty
+    /// discrimination relies on.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        let capacity = capacity.next_power_of_two();
+        let capacity = capacity.next_power_of_two().max(2);
         let buffer: Box<[Slot<T>]> = (0..capacity)
             .map(|i| Slot {
                 sequence: AtomicUsize::new(i),
@@ -78,13 +85,25 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Approximate number of stored elements (racy; diagnostics only).
+    ///
+    /// The two cursors are read with independent `Relaxed` loads, so the
+    /// raw difference is *not* a consistent snapshot: a reader can observe
+    /// a fresh `enqueue_pos` next to a stale `dequeue_pos` (the cursor
+    /// CASes are `Relaxed`, so nothing orders the two loads against the
+    /// slot hand-off) and the difference can then exceed the ring size.
+    /// The result is therefore clamped to
+    /// `0 ..= `[`capacity()`](Self::capacity); within that band it is
+    /// best-effort only — both ends are reachable while operations are in
+    /// flight, so neither `len` nor [`is_empty`](Self::is_empty) may be
+    /// used for synchronization decisions.
     pub fn len(&self) -> usize {
         let enq = self.enqueue_pos.load(Ordering::Relaxed);
         let deq = self.dequeue_pos.load(Ordering::Relaxed);
-        enq.saturating_sub(deq)
+        enq.saturating_sub(deq).min(self.capacity())
     }
 
-    /// Whether the queue appears empty (racy; diagnostics only).
+    /// Whether the queue appears empty (racy; diagnostics only — see
+    /// [`len`](Self::len) for why the answer may be stale).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -225,6 +244,47 @@ mod tests {
         assert_eq!(q.capacity(), 8);
     }
 
+    /// Regression: a capacity-1 ring must round up to 2 slots. With one
+    /// slot the dequeuer's freeing stamp (`pos + capacity`) equals the
+    /// enqueuer's publishing stamp (`pos + 1`), so a producer could claim
+    /// the slot mid-read and overwrite an undelivered value — found as a
+    /// lost executor task by `tests/exec.rs` driving a "capacity-1"
+    /// injector under the PCT scheduler. The storm half of this test
+    /// hammers the two-slot ring SPSC and checks conservation.
+    #[test]
+    fn capacity_one_rounds_up_to_two_and_conserves() {
+        let q: BoundedQueue<u64> = BoundedQueue::with_capacity(1);
+        assert_eq!(q.capacity(), 2);
+
+        const N: u64 = 20_000;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut i = 0;
+                while i < N {
+                    if q.try_enqueue(i).is_ok() {
+                        i += 1;
+                    } else {
+                        // Yield on full: on a single-hardware-thread host
+                        // the partner needs the CPU to make progress.
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            s.spawn(|| {
+                let mut expect = 0;
+                while expect < N {
+                    if let Some(v) = q.try_dequeue() {
+                        assert_eq!(v, expect, "lost or reordered element");
+                        expect += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert_eq!(q.try_dequeue(), None);
+    }
+
     #[test]
     fn full_queue_rejects() {
         let q = BoundedQueue::with_capacity(2);
@@ -241,6 +301,44 @@ mod tests {
         for i in 0..100 {
             q.try_enqueue(i).unwrap();
             assert_eq!(q.try_dequeue(), Some(i));
+        }
+    }
+
+    #[test]
+    fn len_is_bounded_during_producer_consumer_storm() {
+        // Regression for the unclamped len(): with a tiny ring and four
+        // threads churning the cursors, an observer hammering len() used
+        // to see enqueue_pos - dequeue_pos exceed capacity() whenever its
+        // dequeue-cursor load was stale. The clamp bounds every answer.
+        use std::sync::atomic::AtomicBool;
+        let q = Arc::new(BoundedQueue::with_capacity(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if i % 2 == 0 {
+                            let _ = q.try_enqueue(i);
+                        } else {
+                            let _ = q.try_dequeue();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200_000 {
+            let len = q.len();
+            assert!(
+                len <= q.capacity(),
+                "len {len} exceeds capacity {}",
+                q.capacity()
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
         }
     }
 

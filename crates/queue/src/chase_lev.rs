@@ -101,6 +101,10 @@ unsafe impl<T: Send, R: Reclaimer> Sync for ChaseLevDeque<T, R> {}
 
 const INITIAL_CAPACITY: usize = 32;
 
+/// Upper bound on the number of elements one
+/// [`Stealer::steal_batch_and_pop`] call transfers.
+pub const MAX_BATCH: usize = 32;
+
 impl<T> ChaseLevDeque<T> {
     /// Creates an empty deque on the default ([`Ebr`]) backend, returning
     /// its unique [`Worker`] and a cloneable [`Stealer`].
@@ -278,11 +282,27 @@ impl<T, R: Reclaimer> fmt::Debug for Worker<T, R> {
 }
 
 /// The result of a [`Stealer::steal`] attempt.
+///
+/// # Termination-detection contract
+///
+/// `Retry` and `Empty` are **not** interchangeable. `Empty` means the
+/// thief observed `top >= bottom` through the fence protocol — at that
+/// instant the deque held nothing. `Retry` means the thief *lost a CAS
+/// race*: an element existed, someone else (another thief, or the owner
+/// popping the last element) took it, and the deque may still be
+/// non-empty. A scheduler deciding whether a worker may go idle must
+/// therefore treat `Retry` as "work may remain — re-scan", never as
+/// emptiness; collapsing the two re-introduces the classic lost-task
+/// termination bug. The enum is `#[must_use]` so a dropped result (which
+/// silently discards that distinction — and, for `Success`, the element)
+/// is a compile-time warning.
+#[must_use = "a discarded Steal loses the Retry/Empty distinction (and any stolen element)"]
 #[derive(Debug, PartialEq, Eq)]
 pub enum Steal<T> {
-    /// The deque was empty.
+    /// The deque was observed empty (`top >= bottom`).
     Empty,
-    /// Lost a race with another thief or the owner; worth retrying.
+    /// Lost a race with another thief or the owner; the deque may still
+    /// hold elements — worth retrying before reporting emptiness.
     Retry,
     /// Stole the oldest element.
     Success(T),
@@ -331,6 +351,98 @@ impl<T, R: Reclaimer> Stealer<T, R> {
         } else {
             std::mem::forget(value);
             Steal::Retry
+        }
+    }
+
+    /// Steals up to half of the victim's elements (capped at
+    /// [`MAX_BATCH`]), pushing all but the first into `dest` (the thief's
+    /// own worker) and returning the first.
+    ///
+    /// # Protocol
+    ///
+    /// The batch is taken **one element at a time, each with its own CAS
+    /// on `top`** — the batch amortizes scheduling bookkeeping, not
+    /// synchronization. A single multi-slot CAS (`top: t → t+n`) would be
+    /// unsound here: the owner's `pop` takes slot `b-1` *without* a CAS
+    /// whenever it observes `b-1 > t` after its fence, so a wide CAS
+    /// could succeed while the owner has already taken one of the covered
+    /// slots — both threads would own the same element. Per-element CAS
+    /// restores the invariant that every transferred slot is won by
+    /// exactly one `top` transition.
+    ///
+    /// Each iteration re-validates `top` (stop if another thief advanced
+    /// it), re-runs the fence-ordered emptiness check, and re-protects
+    /// the buffer (the owner may have grown and retired the generation
+    /// read by the previous iteration).
+    ///
+    /// # Return value
+    ///
+    /// Follows the [`Steal`] termination contract: `Empty` only if the
+    /// initial fence-ordered check saw `top >= bottom`; `Retry` if the
+    /// *first* CAS was lost (nothing transferred); `Success(first)` once
+    /// at least one element is won — later lost races simply end the
+    /// batch early with whatever was already moved to `dest`.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T, R>) -> Steal<T> {
+        let d = &*self.deque;
+        cds_core::stress::yield_point();
+        let mut t = d.top.load(Ordering::Acquire);
+        // Order the top load before the bottom load (pairs with the owner's
+        // SeqCst fence in `pop`).
+        fence(Ordering::SeqCst);
+        let b = d.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Take half the observed length, rounded up, capped. The target is
+        // fixed from this initial observation; shrinkage is handled by the
+        // per-iteration re-checks below.
+        let target = (((b - t + 1) / 2) as usize).min(MAX_BATCH);
+        let guard = R::enter();
+        let mut first: Option<T> = None;
+        let mut taken = 0usize;
+        while taken < target {
+            if taken > 0 {
+                cds_core::stress::yield_point();
+                // Another thief advancing top past our cursor means our
+                // next CAS would fail; stop with what we have.
+                if d.top.load(Ordering::Acquire) != t {
+                    break;
+                }
+                fence(Ordering::SeqCst);
+                if t >= d.bottom.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            // Re-protect every iteration: the owner may retire the
+            // generation we pinned last time around. A stale-but-alive
+            // generation is fine — growth copies the live range, so index
+            // `t` is present in every generation the hazard can pin.
+            let buf = guard.protect(SLOT_BUFFER, &d.buffer, Ordering::Acquire);
+            // SAFETY: the element at `t` was live when bottom was read;
+            // the bitwise copy is only kept if the CAS below wins.
+            let value = unsafe { buf.deref().read(t) };
+            if d.top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                match first {
+                    None => first = Some(value),
+                    Some(_) => dest.push(value),
+                }
+                taken += 1;
+                t += 1;
+            } else {
+                std::mem::forget(value);
+                break;
+            }
+        }
+        match first {
+            None => Steal::Retry,
+            Some(v) => {
+                cds_obs::add(cds_obs::Event::DequeStealBatchElems, taken as u64);
+                cds_obs::record_max(cds_obs::Event::DequeStealBatchMax, taken as u64);
+                Steal::Success(v)
+            }
         }
     }
 
@@ -420,6 +532,134 @@ mod tests {
         run::<cds_reclaim::Hazard>();
         run::<cds_reclaim::Leak>();
         run::<cds_reclaim::DebugReclaim>();
+    }
+
+    #[test]
+    fn batch_steal_moves_half_and_pops_oldest() {
+        let (victim, s) = ChaseLevDeque::new();
+        let (thief, thief_s) = ChaseLevDeque::new();
+        for i in 0..10 {
+            victim.push(i);
+        }
+        // 10 elements: target = min(11/2, MAX_BATCH) = 5; the oldest is
+        // returned, the next four land in the thief's deque in steal
+        // (FIFO) order.
+        assert_eq!(s.steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(thief.len(), 4);
+        for i in 1..5 {
+            assert_eq!(thief_s.steal(), Steal::Success(i));
+        }
+        // The victim keeps the younger half.
+        assert_eq!(victim.len(), 5);
+        for i in (5..10).rev() {
+            assert_eq!(victim.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn batch_steal_empty_and_singleton() {
+        let (victim, s) = ChaseLevDeque::new();
+        let (thief, _ts) = ChaseLevDeque::<u64>::new();
+        assert_eq!(s.steal_batch_and_pop(&thief), Steal::Empty);
+        victim.push(7);
+        assert_eq!(s.steal_batch_and_pop(&thief), Steal::Success(7));
+        assert!(thief.is_empty());
+        assert_eq!(victim.pop(), None);
+    }
+
+    #[test]
+    fn batch_steal_is_capped() {
+        let (victim, s) = ChaseLevDeque::new();
+        let (thief, _ts) = ChaseLevDeque::new();
+        for i in 0..(4 * MAX_BATCH as u64) {
+            victim.push(i);
+        }
+        assert_eq!(s.steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(thief.len(), MAX_BATCH - 1);
+        assert_eq!(victim.len(), 3 * MAX_BATCH);
+    }
+
+    #[test]
+    fn batch_steal_on_every_backend_with_growth() {
+        fn run<R: Reclaimer>() {
+            let (victim, s) = ChaseLevDeque::<u64, R>::with_reclaimer();
+            let (thief, thief_s) = ChaseLevDeque::<u64, R>::with_reclaimer();
+            // Push past the initial capacity so batch steals span retired
+            // buffer generations.
+            const N: u64 = 1000;
+            for i in 0..N {
+                victim.push(i);
+            }
+            let mut seen = HashSet::new();
+            loop {
+                match s.steal_batch_and_pop(&thief) {
+                    Steal::Success(v) => {
+                        assert!(seen.insert(v), "{}: {v} stolen twice", R::NAME);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => break,
+                }
+            }
+            loop {
+                match thief_s.steal() {
+                    Steal::Success(v) => {
+                        assert!(seen.insert(v), "{}: {v} duplicated in dest", R::NAME);
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => break,
+                }
+            }
+            assert_eq!(seen.len() as u64, N, "{} backend lost elements", R::NAME);
+            R::collect();
+        }
+        run::<Ebr>();
+        run::<cds_reclaim::Hazard>();
+        run::<cds_reclaim::Leak>();
+        run::<cds_reclaim::DebugReclaim>();
+    }
+
+    #[test]
+    fn concurrent_batch_steals_get_distinct_elements() {
+        let (w, s) = ChaseLevDeque::new();
+        const N: u64 = 10_000;
+        for i in 0..N {
+            w.push(i);
+        }
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    let (mine, my_stealer) = ChaseLevDeque::new();
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal_batch_and_pop(&mine) {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                while let Some(v) = mine.pop() {
+                                    got.push(v);
+                                }
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => {
+                                drop(my_stealer);
+                                return got;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut mine = Vec::new();
+        while let Some(v) = w.pop() {
+            mine.push(v);
+        }
+        let mut seen: HashSet<u64> = mine.into_iter().collect();
+        for t in thieves {
+            for v in t.join().unwrap() {
+                assert!(seen.insert(v), "element {v} taken twice");
+            }
+        }
+        assert_eq!(seen.len() as u64, N, "elements lost");
     }
 
     #[test]

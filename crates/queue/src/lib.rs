@@ -42,7 +42,7 @@ mod spsc;
 mod two_lock;
 
 pub use bounded::BoundedQueue;
-pub use chase_lev::{ChaseLevDeque, Steal, Stealer, Worker};
+pub use chase_lev::{ChaseLevDeque, Steal, Stealer, Worker, MAX_BATCH};
 pub use coarse::CoarseQueue;
 pub use fc::FcQueue;
 pub use ms::MsQueue;

@@ -24,6 +24,19 @@
 //! relies on: [`Backoff`] (spin→yield escalation for contended CAS loops)
 //! and [`CachePadded`] (false-sharing avoidance).
 //!
+//! # Spin-loop audit invariant
+//!
+//! Every spin loop in this crate reaches a stress yield point on **every
+//! iteration** — either through [`Backoff::spin`]/[`Backoff::snooze`]
+//! (both open with the injected `stress::yield_point` hook) or, for the
+//! deliberately naive [`TasLock`], a direct call. Bounded bare
+//! `spin_loop` bursts (e.g. the ticket lock's proportional pause) are
+//! permitted only when the same iteration ends in a yield point. A spin
+//! loop violating this is a scheduling blind spot: under the
+//! deterministic PCT scheduler the token holder would burn its entire
+//! fairness bound there (the PR-1 lazy-skiplist class of stall), turning
+//! seeded schedules into timing-dependent ones.
+//!
 //! # Example
 //!
 //! ```

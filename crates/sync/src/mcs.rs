@@ -134,6 +134,11 @@ impl RawLock for McsLock {
                     return;
                 }
                 // A successor is between its swap and its `next` store.
+                // `spin` (not `snooze`): the wait is two instructions
+                // long on the successor's side. It still opens with a
+                // stress yield point, so this loop — the only spin in an
+                // unlock path in this crate — cannot stall a
+                // deterministic schedule.
                 let backoff = Backoff::new();
                 loop {
                     next = (*me).next.load(Ordering::Acquire);

@@ -65,6 +65,11 @@ impl RawLock for TicketLock {
             // not livelock on an oversubscribed host: if the thread whose
             // turn it is has been descheduled, pure spinning would burn a
             // whole scheduler quantum per hand-off.
+            // The inner pause loop is *bounded* (<= 64 pauses) and is
+            // followed by `snooze`, which is a stress yield point — so
+            // every iteration of the outer wait loop reaches the
+            // scheduler. (Audit invariant for this crate: no spin loop
+            // may complete an iteration without passing a yield point.)
             let distance = ticket.wrapping_sub(serving);
             for _ in 0..distance.min(64) {
                 core::hint::spin_loop();

@@ -17,6 +17,7 @@
 //! | [`skiplist`] | Coarse, lazy, lock-free skiplists |
 //! | [`tree`] | Coarse, fine-grained external, Ellen et al. lock-free BSTs |
 //! | [`prio`] | Coarse binary heap, Lotan–Shavit skiplist priority queue |
+//! | [`exec`] | Work-stealing thread pool on Chase–Lev deques (bounded injector + overflow, eventcount parking) |
 //! | [`lincheck`] | History recording and Wing–Gong linearizability checking |
 //!
 //! # Example
@@ -34,6 +35,7 @@
 
 pub use cds_core as core;
 pub use cds_counter as counter;
+pub use cds_exec as exec;
 pub use cds_lincheck as lincheck;
 pub use cds_list as list;
 pub use cds_map as map;

@@ -229,6 +229,14 @@ fn scheduled_priority_queue_and_counters_are_linearizable() {
     stress_counter::<cds_counter::FcCounter>(0xc0e2);
 }
 
+fn gen_counter(rng: &mut cds_core::stress::SplitMix64, _t: usize) -> CounterOp {
+    if rng.below(2) == 0 {
+        CounterOp::Add(1 + rng.below(4) as i64)
+    } else {
+        CounterOp::Get
+    }
+}
+
 /// Lock-primitive-guarded counters run against the same `CounterSpec`: a
 /// `SeqLock<i64>` (writers serialize on the sequence word, readers retry
 /// optimistically) and an `RwSpinLock<i64>`. A torn, stale, or
@@ -236,14 +244,6 @@ fn scheduled_priority_queue_and_counters_are_linearizable() {
 /// schedule-level complement of the primitives' own unit tests.
 #[test]
 fn scheduled_lock_guarded_counters_are_linearizable() {
-    fn gen_counter(rng: &mut cds_core::stress::SplitMix64, _t: usize) -> CounterOp {
-        if rng.below(2) == 0 {
-            CounterOp::Add(1 + rng.below(4) as i64)
-        } else {
-            CounterOp::Get
-        }
-    }
-
     stress(
         CounterSpec::default(),
         &opts(0x5e9c0),
@@ -273,6 +273,240 @@ fn scheduled_lock_guarded_counters_are_linearizable() {
         },
     )
     .unwrap_or_else(|f| panic!("RwSpinLock-guarded counter not linearizable: {f:?}"));
+}
+
+/// Every mutual-exclusion lock in `cds-sync`, exercised as a
+/// `Lock<L, i64>`-guarded counter under seeded PCT schedules. This is the
+/// schedule-level spec the spin-loop audit (PR 6) demands for each lock:
+/// all five wait loops pass a stress yield point every iteration, so these
+/// schedules genuinely preempt threads *inside* the acquisition protocols
+/// (mid-queue in CLH/MCS, between ticket grab and serve, between the TTAS
+/// read and its CAS) rather than only between operations.
+#[test]
+fn scheduled_spin_lock_guarded_counters_are_linearizable() {
+    fn stress_lock<L: cds_sync::RawLock>(seed: u64) {
+        stress(
+            CounterSpec::default(),
+            &opts(seed),
+            cds_sync::Lock::<L, i64>::default,
+            gen_counter,
+            |c, op| match op {
+                CounterOp::Add(d) => {
+                    *c.lock() += *d;
+                    0
+                }
+                CounterOp::Get => *c.lock(),
+            },
+        )
+        .unwrap_or_else(|f| panic!("{}-guarded counter not linearizable: {f:?}", L::NAME));
+    }
+    stress_lock::<cds_sync::TasLock>(0x5e9c2);
+    stress_lock::<cds_sync::TtasLock>(0x5e9c3);
+    stress_lock::<cds_sync::TicketLock>(0x5e9c4);
+    stress_lock::<cds_sync::ClhLock>(0x5e9c5);
+    stress_lock::<cds_sync::McsLock>(0x5e9c6);
+}
+
+/// `SenseBarrier` round conservation under seeded schedules: no thread
+/// leaves round `r` before all `N` threads have arrived at round `r`, and
+/// exactly one thread per round is told it was the leader. A sense-reversal
+/// bug (stale count reset, round advanced before the reset is visible, a
+/// fast thread lapping a slow one) shows up as an arrival count short of
+/// `N` or a round with zero/two leaders.
+#[test]
+fn scheduled_sense_barrier_conserves_rounds() {
+    use cds_core::stress as sched;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const THREADS: usize = 3;
+    const ROUNDS: usize = 6;
+    let root = opts(0xba113).seed;
+    for round in 0..8u64 {
+        let run = sched::install(cds_core::stress::StressConfig {
+            seed: sched::mix_seed(root, round),
+            change_period: 3,
+            backoff_denom: 0,
+            backoff_spins: 0,
+        });
+        let barrier = cds_sync::SenseBarrier::new(THREADS);
+        let arrivals: Vec<AtomicUsize> = (0..ROUNDS).map(|_| AtomicUsize::new(0)).collect();
+        let leaders: Vec<AtomicUsize> = (0..ROUNDS).map(|_| AtomicUsize::new(0)).collect();
+        let start = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let barrier = &barrier;
+                let arrivals = &arrivals;
+                let leaders = &leaders;
+                let start = &start;
+                s.spawn(move || {
+                    let _slot = sched::register(t);
+                    start.wait();
+                    for r in 0..ROUNDS {
+                        arrivals[r].fetch_add(1, Ordering::SeqCst);
+                        sched::yield_point();
+                        let leader = barrier.wait();
+                        if leader {
+                            leaders[r].fetch_add(1, Ordering::SeqCst);
+                        }
+                        // Barrier semantics: every arrival for round `r`
+                        // happened-before any thread's release from it.
+                        let seen = arrivals[r].load(Ordering::SeqCst);
+                        assert_eq!(
+                            seen, THREADS,
+                            "thread {t} released from round {r} after only {seen} arrivals"
+                        );
+                    }
+                });
+            }
+        });
+        drop(run);
+        for (r, l) in leaders.iter().enumerate() {
+            assert_eq!(
+                l.load(Ordering::SeqCst),
+                1,
+                "round {r} elected {} leaders",
+                l.load(Ordering::SeqCst)
+            );
+        }
+    }
+}
+
+/// A capacity-2 `BoundedQueue` checked against a *bounded* sequential
+/// queue spec, so every full/empty transition of the tiny ring — the
+/// regime where the Vyukov sequence-number protocol does all its work —
+/// must linearize, including rejected `try_enqueue`s against a full ring
+/// and `try_dequeue`s racing the wrap-around.
+#[test]
+fn scheduled_tiny_bounded_queue_is_linearizable() {
+    use std::collections::VecDeque;
+
+    #[derive(Clone, Debug)]
+    enum TryQueueOp {
+        TryEnqueue(u64),
+        TryDequeue,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum TryQueueRes {
+        Enqueued(bool),
+        Dequeued(Option<u64>),
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash, Default)]
+    struct TryQueueSpec {
+        items: VecDeque<u64>,
+        capacity: usize,
+    }
+
+    impl cds_lincheck::Spec for TryQueueSpec {
+        type Op = TryQueueOp;
+        type Res = TryQueueRes;
+
+        fn apply(&mut self, op: &TryQueueOp) -> TryQueueRes {
+            match op {
+                TryQueueOp::TryEnqueue(v) => {
+                    if self.items.len() < self.capacity {
+                        self.items.push_back(*v);
+                        TryQueueRes::Enqueued(true)
+                    } else {
+                        TryQueueRes::Enqueued(false)
+                    }
+                }
+                TryQueueOp::TryDequeue => TryQueueRes::Dequeued(self.items.pop_front()),
+            }
+        }
+    }
+
+    const CAPACITY: usize = 2;
+    stress(
+        TryQueueSpec {
+            items: VecDeque::new(),
+            capacity: CAPACITY,
+        },
+        &opts(0x90e5),
+        || cds_queue::BoundedQueue::<u64>::with_capacity(CAPACITY),
+        |rng, t| {
+            if rng.below(2) == 0 {
+                TryQueueOp::TryEnqueue((t as u64) << 8 | rng.below(16))
+            } else {
+                TryQueueOp::TryDequeue
+            }
+        },
+        |q, op| match op {
+            TryQueueOp::TryEnqueue(v) => TryQueueRes::Enqueued(q.try_enqueue(*v).is_ok()),
+            TryQueueOp::TryDequeue => TryQueueRes::Dequeued(q.try_dequeue()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("capacity-2 bounded queue not linearizable: {f:?}"));
+}
+
+/// Regression for the Chase–Lev one-element race: the owner's `pop` of the
+/// last element and a thief's `steal` both CAS `top`; exactly one may win.
+/// Seeded rounds drive the preemption right between the thief's bottom
+/// read and its CAS (and between the owner's bottom decrement and *its*
+/// CAS), the schedule shapes where a broken fence/CAS pairing would let
+/// both sides take the element or lose it entirely.
+#[test]
+fn scheduled_chase_lev_single_element_is_taken_exactly_once() {
+    use cds_core::stress as sched;
+    use cds_queue::{ChaseLevDeque, Steal};
+
+    let root = opts(0xc4a5e).seed;
+    for round in 0..32u64 {
+        let run = sched::install(cds_core::stress::StressConfig {
+            seed: sched::mix_seed(root, round),
+            change_period: 2,
+            backoff_denom: 0,
+            backoff_spins: 0,
+        });
+        let (worker, stealer) = ChaseLevDeque::<u64>::new();
+        let start = std::sync::Barrier::new(2);
+        let (popped, stolen) = std::thread::scope(|s| {
+            let owner = {
+                let start = &start;
+                s.spawn(move || {
+                    let _slot = sched::register(0);
+                    start.wait();
+                    worker.push(7);
+                    sched::yield_point();
+                    worker.pop()
+                })
+            };
+            let thief = {
+                let stealer = &stealer;
+                let start = &start;
+                s.spawn(move || {
+                    let _slot = sched::register(1);
+                    start.wait();
+                    // Bounded retries: `Empty` may be a pre-push snapshot,
+                    // so probe a few times; `Retry` means we lost a CAS to
+                    // the owner and the next probe will resolve to `Empty`.
+                    let mut probes = 0;
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(v) => break Some(v),
+                            Steal::Empty => {
+                                probes += 1;
+                                if probes > 8 {
+                                    break None;
+                                }
+                                sched::yield_point();
+                            }
+                            Steal::Retry => sched::yield_point(),
+                        }
+                    }
+                })
+            };
+            (owner.join().unwrap(), thief.join().unwrap())
+        });
+        drop(run);
+        let takers = usize::from(popped.is_some()) + usize::from(stolen.is_some());
+        assert_eq!(
+            takers, 1,
+            "round {round}: element taken by {takers} sides (popped {popped:?}, stolen {stolen:?})"
+        );
+        assert_eq!(popped.or(stolen), Some(7));
+    }
 }
 
 /// Acceptance regression: the memoized checker must decide a 40-operation,

@@ -35,6 +35,11 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
+#[cfg(feature = "stress")]
+pub mod explore;
+
+pub use cds_sync::stress::YieldTag;
+
 /// Maximum worker threads a stress round may register.
 pub const MAX_THREADS: usize = 64;
 
@@ -181,7 +186,7 @@ pub fn install(cfg: StressConfig) -> StressRun {
     // `cds-sync` sits below this crate, so its `Backoff` loops reach the
     // scheduler through an injected hook rather than a direct call.
     #[cfg(feature = "stress")]
-    cds_sync::stress::set_yield_point(yield_point);
+    cds_sync::stress::set_yield_hook(yield_point_tagged);
     let change_period = cfg.change_period;
     *state_lock() = Some(SchedState {
         rng: SplitMix64::new(mix_seed(cfg.seed, 0x5ced)),
@@ -224,6 +229,10 @@ impl Drop for ThreadSlot {
     fn drop(&mut self) {
         let Some(slot) = self.slot else { return };
         CUR_SLOT.with(|c| c.set(None));
+        #[cfg(feature = "stress")]
+        if explore::deregister(slot) {
+            return;
+        }
         if let Some(st) = state_lock().as_mut() {
             st.registered[slot] = false;
             st.recompute_token();
@@ -239,6 +248,11 @@ impl Drop for ThreadSlot {
 /// is installed.
 pub fn register(index: usize) -> ThreadSlot {
     assert!(index < MAX_THREADS, "worker index {index} out of range");
+    #[cfg(feature = "stress")]
+    if explore::register(index) {
+        CUR_SLOT.with(|c| c.set(Some(index)));
+        return ThreadSlot { slot: Some(index) };
+    }
     let mut guard = state_lock();
     let Some(st) = guard.as_mut() else {
         return ThreadSlot { slot: None };
@@ -264,18 +278,36 @@ pub fn register(index: usize) -> ThreadSlot {
 /// with no scheduler pass straight through.
 #[inline]
 pub fn yield_point() {
+    yield_point_tagged(YieldTag::None);
+}
+
+/// [`yield_point`] carrying an access tag describing what the next step
+/// touches (see [`YieldTag`]).
+///
+/// The PCT scheduler ignores tags; the systematic [`explore`] scheduler
+/// derives its independence relation from them. Untagged points are
+/// conservatively dependent on everything, so tagging is an optimization,
+/// never a correctness requirement for instrumented code.
+#[inline]
+pub fn yield_point_tagged(tag: YieldTag) {
     #[cfg(feature = "stress")]
-    yield_point_slow();
+    yield_point_slow(tag);
+    #[cfg(not(feature = "stress"))]
+    let _ = tag;
 }
 
 #[cfg(feature = "stress")]
-fn yield_point_slow() {
+fn yield_point_slow(tag: YieldTag) {
     if !ACTIVE.load(Ordering::Acquire) {
         return;
     }
     let Some(slot) = CUR_SLOT.with(|c| c.get()) else {
         return;
     };
+    if explore::mode_active() {
+        explore::on_yield(slot, tag);
+        return;
+    }
     let mut spins: u32 = 0;
     loop {
         // Lock-free wait: only the (apparent) token holder touches the

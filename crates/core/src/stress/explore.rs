@@ -1,0 +1,862 @@
+//! Bounded-exhaustive systematic exploration ("model-checking mode") for
+//! the stress scheduler.
+//!
+//! Where the PCT scheduler ([module docs](super)) *samples* schedules from
+//! a seeded distribution, this module *enumerates* them: it serializes the
+//! worker threads so that exactly one runs between consecutive yield
+//! points, records every scheduling decision, and drives a depth-first
+//! search over all such decision sequences. For the small operation
+//! windows lincheck specs use (2–3 threads × 3–5 ops), the search
+//! typically finishes in well under a second and the verdict is a proof
+//! over *all* inequivalent interleavings at yield-point granularity — not
+//! a lucky sample.
+//!
+//! # Pruning: sleep sets over tagged independence
+//!
+//! Exhaustive enumeration is exponential in schedule length, so the
+//! explorer prunes with *sleep sets* (Godefroid), the classic
+//! partial-order-reduction device: after fully exploring child `t` of a
+//! node, `t` is put to sleep for the node's remaining children and stays
+//! asleep down a branch until a step *dependent* on `t` executes. A branch
+//! whose every enabled thread is asleep is redundant — some already
+//! explored branch reaches the same state — and is abandoned early.
+//!
+//! The independence relation comes from the [`YieldTag`]s instrumented
+//! code attaches to its yield points: two steps commute iff both are
+//! tagged, with different addresses or neither writing. Untagged steps
+//! ([`YieldTag::None`]) are conservatively dependent on everything, so a
+//! structure with no tags at all degrades to plain exhaustive DFS —
+//! pruning is an optimization, never a soundness assumption. This is
+//! deliberately simpler than vector-clock DPOR (Flanagan & Godefroid):
+//! sleep sets alone never skip a Mazurkiewicz trace, they only avoid
+//! *some* equivalent reorderings, which is the right trade for windows
+//! this small.
+//!
+//! Checking one representative schedule per trace is sound for
+//! linearizability because the histories the harness checks are built
+//! from invocation/response events that always follow untagged (hence
+//! never-commuted) driver yields: equivalent schedules produce histories
+//! with identical precedence constraints.
+//!
+//! # Blocked threads and livelock bounds
+//!
+//! A thread pausing with [`YieldTag::Blocked`] declares its next step a
+//! pure recheck: re-running it before any other thread moves would change
+//! nothing and land back at the same yield point. The explorer therefore
+//! *disables* such a thread until any other thread completes a step —
+//! sound, because the skipped stutter steps do not alter shared state and
+//! schedules containing them are equivalent to ones without. Two bounds
+//! make every search terminate even on livelocking or deadlocking
+//! targets: a per-execution step budget ([`ExploreBounds::max_steps`])
+//! and a cap on consecutive forced wakes of all-blocked thread sets; both
+//! abort the execution as [`Outcome::Stuck`].
+//!
+//! # Mechanics
+//!
+//! [`Explorer::begin`] installs the explore scheduler (sharing the
+//! process-wide run lock, [`register`](super::register), and yield-point
+//! plumbing with the PCT mode). Worker threads pause at every yield
+//! point; when all are paused or finished, the deepest paused thread
+//! permitted by the current DFS *plan* is granted one step. Aborts
+//! (redundant branch, budget exhausted) unwind the workers with a
+//! dedicated panic payload ([`ExploreAbort`]) that the harness catches
+//! and a process-wide panic hook mutes. [`Explorer::finish`] harvests the
+//! decision log, grows the DFS tree, and [`Explorer::advance`] moves to
+//! the next unexplored branch. The decision sequence of a failing
+//! execution — just the chosen thread per step — is a *schedule* that
+//! [`begin_replay`] re-executes verbatim, which is what the lincheck
+//! trace format v2 stores.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, Once};
+
+use super::{YieldTag, ACTIVE, MAX_THREADS, RUN_LOCK};
+
+/// `GRANT` value meaning "no thread may step".
+const IDLE: usize = usize::MAX;
+/// `GRANT` value meaning "execution aborted; unwind at the next yield".
+const ABORTED: usize = usize::MAX - 1;
+/// Consecutive forced wakes of an all-blocked thread set before the
+/// execution is declared stuck (each requires a full quiescent spin of
+/// pure rechecks, so genuine progress resets the counter quickly).
+const FORCED_WAKE_BOUND: u32 = 128;
+
+/// Search bounds for one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreBounds {
+    /// Maximum scheduling decisions per execution before it is declared
+    /// [`Outcome::Stuck`] (livelock/deadlock backstop). A window of `t`
+    /// threads × `k` ops needs roughly `t·k` times the per-op yield
+    /// count, so the default is generous for lincheck-sized windows.
+    pub max_steps: u64,
+}
+
+impl Default for ExploreBounds {
+    fn default() -> Self {
+        ExploreBounds { max_steps: 4096 }
+    }
+}
+
+/// One recorded scheduling decision of an execution.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    /// Thread granted the step.
+    chosen: usize,
+    /// Mask of threads that could have been chosen (paused, not
+    /// disabled-blocked).
+    enabled: u64,
+    /// Sleep set inherited at this decision point.
+    sleep: u64,
+}
+
+/// One forced step of a DFS plan (the path from the root to the branch
+/// being explored).
+#[derive(Debug, Clone, Copy)]
+struct PlanStep {
+    chosen: usize,
+    /// Siblings already fully explored at this node; they join the sleep
+    /// set for this branch per the sleep-set discipline.
+    extra_sleep: u64,
+}
+
+/// Why an execution stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortKind {
+    /// Every enabled thread was asleep: an equivalent branch was already
+    /// explored.
+    Redundant,
+    /// Step budget or forced-wake bound exhausted.
+    Stuck,
+    /// A forced plan step named a thread that is not enabled — the
+    /// target behaved differently than when the plan was recorded.
+    Diverged,
+}
+
+/// Result of one explored execution, as classified by
+/// [`Explorer::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The execution ran to completion; its history is meaningful and
+    /// counts as one explored schedule.
+    Complete,
+    /// Pruned by the sleep-set discipline; equivalent to an already
+    /// explored schedule. The (partial) history must be discarded.
+    Redundant,
+    /// Aborted by the step budget or the forced-wake bound — the target
+    /// livelocked or deadlocked under this schedule.
+    Stuck,
+    /// A replayed plan diverged from the recorded behaviour; the target
+    /// is nondeterministic beyond schedule choice (or the trace is stale).
+    Diverged,
+}
+
+/// Panic payload used to unwind worker threads out of an aborted
+/// execution. The harness catches it with `catch_unwind`; the panic hook
+/// installed by [`Explorer::begin`] keeps it off stderr.
+#[derive(Debug)]
+pub struct ExploreAbort;
+
+fn abort_panic() -> ! {
+    std::panic::panic_any(ExploreAbort);
+}
+
+/// Whether the explore scheduler (not PCT) owns the current stress round.
+static EXPLORING: AtomicBool = AtomicBool::new(false);
+/// Slot currently granted a step, or [`IDLE`] / [`ABORTED`]. Paused
+/// workers spin on this instead of the state mutex.
+static GRANT: AtomicUsize = AtomicUsize::new(IDLE);
+static EXP: Mutex<Option<ExpState>> = Mutex::new(None);
+static HOOK: Once = Once::new();
+
+fn exp_lock() -> MutexGuard<'static, Option<ExpState>> {
+    EXP.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Installs a forwarding panic hook that mutes [`ExploreAbort`] unwinds
+/// (they are control flow, not failures) and defers everything else to
+/// the previously installed hook.
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ExploreAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Live state of one explored execution.
+struct ExpState {
+    threads: usize,
+    plan: Vec<PlanStep>,
+    /// Replay mode: never prune as redundant, ignore sleep sets beyond
+    /// the plan.
+    replay_only: bool,
+    max_steps: u64,
+    /// Bitmasks over worker slots.
+    registered: u64,
+    paused: u64,
+    finished: u64,
+    /// Blocked threads that have not seen another thread step since
+    /// pausing; at most the most recent pauser, by construction.
+    disabled: u64,
+    running: Option<usize>,
+    tags: [YieldTag; MAX_THREADS],
+    sleep: u64,
+    decisions: Vec<Decision>,
+    steps: u64,
+    forced_wakes: u32,
+    abort: Option<AbortKind>,
+}
+
+/// Two steps commute iff both are tagged and they cannot conflict:
+/// different locations, or the same location with neither writing.
+/// [`YieldTag::Blocked`] counts as a read of its location.
+fn independent(a: YieldTag, b: YieldTag) -> bool {
+    fn access(t: YieldTag) -> Option<(usize, bool)> {
+        match t {
+            YieldTag::None => None,
+            YieldTag::Read(a) | YieldTag::Blocked(a) => Some((a, false)),
+            YieldTag::Write(a) => Some((a, true)),
+        }
+    }
+    match (access(a), access(b)) {
+        (Some((aa, aw)), Some((ba, bw))) => aa != ba || (!aw && !bw),
+        _ => false,
+    }
+}
+
+impl ExpState {
+    fn new(threads: usize, plan: Vec<PlanStep>, replay_only: bool, max_steps: u64) -> Self {
+        ExpState {
+            threads,
+            plan,
+            replay_only,
+            max_steps,
+            registered: 0,
+            paused: 0,
+            finished: 0,
+            disabled: 0,
+            running: None,
+            tags: [YieldTag::None; MAX_THREADS],
+            sleep: 0,
+            decisions: Vec::new(),
+            steps: 0,
+            forced_wakes: 0,
+            abort: None,
+        }
+    }
+
+    fn full_mask(&self) -> u64 {
+        if self.threads == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.threads) - 1
+        }
+    }
+
+    fn trigger_abort(&mut self, kind: AbortKind) {
+        self.abort = Some(kind);
+        GRANT.store(ABORTED, Ordering::Release);
+    }
+
+    /// Grants one thread a step if the execution is quiescent: every
+    /// expected worker registered and now paused or finished, none
+    /// running. Called after every pause and finish.
+    fn maybe_dispatch(&mut self) {
+        if self.abort.is_some() || self.running.is_some() {
+            return;
+        }
+        let full = self.full_mask();
+        if self.registered != full {
+            return;
+        }
+        if (self.paused | self.finished) != full || self.finished == full {
+            return;
+        }
+        let mut enabled = self.paused & !self.disabled;
+        if enabled == 0 {
+            // Everyone left is blocked with nothing moved since: force a
+            // recheck round, bounded so a real deadlock still terminates.
+            self.forced_wakes += 1;
+            if self.forced_wakes > FORCED_WAKE_BOUND {
+                return self.trigger_abort(AbortKind::Stuck);
+            }
+            self.disabled = 0;
+            enabled = self.paused;
+        }
+        let idx = self.decisions.len();
+        let (chosen, extra_sleep) = if idx < self.plan.len() {
+            let p = self.plan[idx];
+            if enabled & (1u64 << p.chosen) == 0 {
+                return self.trigger_abort(AbortKind::Diverged);
+            }
+            (p.chosen, p.extra_sleep)
+        } else {
+            let cands = enabled & !self.sleep;
+            if cands == 0 {
+                if self.replay_only {
+                    (enabled.trailing_zeros() as usize, 0)
+                } else {
+                    return self.trigger_abort(AbortKind::Redundant);
+                }
+            } else {
+                (cands.trailing_zeros() as usize, 0)
+            }
+        };
+        self.decisions.push(Decision {
+            chosen,
+            enabled,
+            sleep: self.sleep,
+        });
+        // Sleep-set propagation: already-explored siblings (and inherited
+        // sleepers) stay asleep down this branch only while independent
+        // of the step just granted.
+        let inherited = (self.sleep | extra_sleep) & self.paused & !(1u64 << chosen);
+        let mut new_sleep = 0u64;
+        let mut bits = inherited;
+        while bits != 0 {
+            let u = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if independent(self.tags[u], self.tags[chosen]) {
+                new_sleep |= 1u64 << u;
+            }
+        }
+        self.sleep = new_sleep;
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return self.trigger_abort(AbortKind::Stuck);
+        }
+        self.paused &= !(1u64 << chosen);
+        self.running = Some(chosen);
+        GRANT.store(chosen, Ordering::Release);
+    }
+}
+
+/// Whether the explore scheduler owns the active stress round.
+#[inline]
+pub(super) fn mode_active() -> bool {
+    EXPLORING.load(Ordering::Acquire)
+}
+
+/// Registers `index` with the explore round, if one is installed.
+/// Returns `false` when no explore round is active (PCT registration
+/// should proceed instead).
+pub(super) fn register(index: usize) -> bool {
+    if !mode_active() {
+        return false;
+    }
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else {
+        return false;
+    };
+    assert!(
+        index < st.threads,
+        "worker index {index} out of range for explore round of {} threads",
+        st.threads
+    );
+    let bit = 1u64 << index;
+    assert!(
+        st.registered & bit == 0,
+        "worker index {index} registered twice"
+    );
+    st.registered |= bit;
+    true
+}
+
+/// Removes a finished worker from the explore round. Returns `true` when
+/// the explore round handled the deregistration. Must never panic: it
+/// runs from `Drop` during abort unwinds.
+pub(super) fn deregister(slot: usize) -> bool {
+    if !mode_active() {
+        return false;
+    }
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else {
+        return true;
+    };
+    let bit = 1u64 << slot;
+    if st.registered & bit == 0 {
+        return true;
+    }
+    if st.running == Some(slot) {
+        st.running = None;
+        st.steps += 1;
+        if GRANT.load(Ordering::Acquire) == slot {
+            GRANT.store(IDLE, Ordering::Release);
+        }
+    }
+    st.paused &= !bit;
+    st.finished |= bit;
+    st.sleep &= !bit;
+    st.disabled = 0;
+    st.forced_wakes = 0;
+    st.maybe_dispatch();
+    true
+}
+
+/// The explore-mode yield point: pause, hand the scheduler the access
+/// tag for the next step, and wait to be granted that step. Panics with
+/// [`ExploreAbort`] when the execution is aborted.
+pub(super) fn on_yield(slot: usize, tag: YieldTag) {
+    {
+        let mut guard = exp_lock();
+        let Some(st) = guard.as_mut() else { return };
+        if st.abort.is_some() {
+            drop(guard);
+            abort_panic();
+        }
+        let bit = 1u64 << slot;
+        if st.registered & bit == 0 || st.finished & bit != 0 {
+            return;
+        }
+        if st.running == Some(slot) {
+            st.running = None;
+            if GRANT.load(Ordering::Acquire) == slot {
+                GRANT.store(IDLE, Ordering::Release);
+            }
+        }
+        st.paused |= bit;
+        st.tags[slot] = tag;
+        // This thread just completed a step (or arrived), so every other
+        // blocked thread's "nothing has moved" premise is void; its own
+        // sticks only if this pause itself declares a pure recheck.
+        if matches!(tag, YieldTag::Blocked(_)) {
+            st.disabled = bit;
+        } else {
+            st.disabled = 0;
+            st.forced_wakes = 0;
+        }
+        st.maybe_dispatch();
+        if st.abort.is_some() {
+            drop(guard);
+            abort_panic();
+        }
+    }
+    loop {
+        match GRANT.load(Ordering::Acquire) {
+            g if g == slot => return,
+            ABORTED => abort_panic(),
+            _ => std::thread::yield_now(),
+        }
+    }
+}
+
+/// An installed explore round; uninstalls on drop. Returned by
+/// [`Explorer::begin`] / [`begin_replay`] and consumed by
+/// [`Explorer::finish`] / [`finish_replay`] after the workers joined.
+pub struct ExploreRun {
+    _exclusive: MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for ExploreRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExploreRun").finish_non_exhaustive()
+    }
+}
+
+impl Drop for ExploreRun {
+    fn drop(&mut self) {
+        ACTIVE.store(false, Ordering::Release);
+        EXPLORING.store(false, Ordering::Release);
+        *exp_lock() = None;
+        GRANT.store(IDLE, Ordering::Release);
+    }
+}
+
+fn install_run(state: ExpState) -> ExploreRun {
+    install_quiet_hook();
+    let exclusive = RUN_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+    // Route `cds-sync` backoff yields into the tagged entry point, same
+    // as a PCT install.
+    cds_sync::stress::set_yield_hook(super::yield_point_tagged);
+    *exp_lock() = Some(state);
+    GRANT.store(IDLE, Ordering::Release);
+    EXPLORING.store(true, Ordering::Release);
+    ACTIVE.store(true, Ordering::Release);
+    ExploreRun {
+        _exclusive: exclusive,
+    }
+}
+
+fn harvest(run: ExploreRun) -> ExpState {
+    let state = exp_lock().take().expect("explore state missing at finish");
+    drop(run);
+    state
+}
+
+/// A node of the DFS tree, one per scheduling decision along the current
+/// path.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Threads choosable at this node when it was first reached.
+    enabled: u64,
+    /// Sleep set inherited at this node.
+    sleep: u64,
+    /// Child currently (or last) being explored.
+    chosen: usize,
+    /// Children explored so far, including `chosen`.
+    done: u64,
+}
+
+/// Depth-first enumerator of thread schedules with sleep-set pruning.
+///
+/// Drive it in a loop: [`begin`](Explorer::begin), run the worker window
+/// to completion, [`finish`](Explorer::finish), inspect the outcome, and
+/// [`advance`](Explorer::advance) until it returns `false` (search space
+/// exhausted). See `cds_lincheck::explore` for the packaged harness.
+pub struct Explorer {
+    threads: usize,
+    bounds: ExploreBounds,
+    stack: Vec<Node>,
+    plan: Vec<PlanStep>,
+    /// Decision log of the most recent execution.
+    last: Vec<Decision>,
+    plan_len: usize,
+    schedules: u64,
+    redundant: u64,
+    stuck: u64,
+    executions: u64,
+    exhausted: bool,
+}
+
+impl std::fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("threads", &self.threads)
+            .field("depth", &self.stack.len())
+            .field("schedules", &self.schedules)
+            .field("redundant", &self.redundant)
+            .field("stuck", &self.stuck)
+            .field("executions", &self.executions)
+            .field("exhausted", &self.exhausted)
+            .finish()
+    }
+}
+
+impl Explorer {
+    /// Creates an explorer for windows of `threads` worker threads
+    /// (registered as slots `0..threads`).
+    pub fn new(threads: usize, bounds: ExploreBounds) -> Self {
+        assert!(
+            (1..=MAX_THREADS).contains(&threads),
+            "explore thread count {threads} out of range"
+        );
+        Explorer {
+            threads,
+            bounds,
+            stack: Vec::new(),
+            plan: Vec::new(),
+            last: Vec::new(),
+            plan_len: 0,
+            schedules: 0,
+            redundant: 0,
+            stuck: 0,
+            executions: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Installs the explore scheduler for the next execution of the
+    /// window. Workers must [`register`](super::register) slots
+    /// `0..threads` and hit yield points as usual.
+    pub fn begin(&mut self) -> ExploreRun {
+        assert!(!self.exhausted, "explorer already exhausted");
+        self.plan_len = self.plan.len();
+        install_run(ExpState::new(
+            self.threads,
+            self.plan.clone(),
+            false,
+            self.bounds.max_steps,
+        ))
+    }
+
+    /// Harvests the execution started by the matching
+    /// [`begin`](Explorer::begin) (after all workers joined), growing the
+    /// DFS tree with the fresh decisions.
+    pub fn finish(&mut self, run: ExploreRun) -> Outcome {
+        let st = harvest(run);
+        self.executions += 1;
+        for d in &st.decisions[self.plan_len.min(st.decisions.len())..] {
+            self.stack.push(Node {
+                enabled: d.enabled,
+                sleep: d.sleep,
+                chosen: d.chosen,
+                done: 1u64 << d.chosen,
+            });
+        }
+        self.last = st.decisions;
+        match st.abort {
+            None => {
+                self.schedules += 1;
+                Outcome::Complete
+            }
+            Some(AbortKind::Redundant) => {
+                self.redundant += 1;
+                Outcome::Redundant
+            }
+            Some(AbortKind::Stuck) => {
+                self.stuck += 1;
+                Outcome::Stuck
+            }
+            Some(AbortKind::Diverged) => Outcome::Diverged,
+        }
+    }
+
+    /// Backtracks to the deepest node with an unexplored, non-slept
+    /// child and re-plans. Returns `false` when the whole bounded space
+    /// has been covered.
+    pub fn advance(&mut self) -> bool {
+        while let Some(top) = self.stack.last_mut() {
+            let cands = top.enabled & !top.sleep & !top.done;
+            if cands != 0 {
+                let c = cands.trailing_zeros() as usize;
+                top.done |= 1u64 << c;
+                top.chosen = c;
+                self.plan = self
+                    .stack
+                    .iter()
+                    .map(|n| PlanStep {
+                        chosen: n.chosen,
+                        extra_sleep: n.done & !(1u64 << n.chosen),
+                    })
+                    .collect();
+                return true;
+            }
+            self.stack.pop();
+        }
+        self.exhausted = true;
+        false
+    }
+
+    /// Thread choices of the most recent execution, in order — the
+    /// schedule a trace stores and [`begin_replay`] re-executes.
+    pub fn last_schedule(&self) -> Vec<usize> {
+        self.last.iter().map(|d| d.chosen).collect()
+    }
+
+    /// Completed (non-redundant, non-stuck) schedules explored so far.
+    pub fn schedules(&self) -> u64 {
+        self.schedules
+    }
+
+    /// Branches pruned by the sleep-set discipline.
+    pub fn redundant(&self) -> u64 {
+        self.redundant
+    }
+
+    /// Executions aborted by the step or forced-wake bounds.
+    pub fn stuck(&self) -> u64 {
+        self.stuck
+    }
+
+    /// Total executions attempted (complete + redundant + stuck).
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Whether the bounded search space has been fully covered.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+/// Installs the explore scheduler in replay mode: the recorded
+/// `schedule` (thread choice per step) is forced verbatim, with no
+/// pruning. Use with the same worker window that produced the schedule.
+pub fn begin_replay(threads: usize, schedule: &[usize], bounds: &ExploreBounds) -> ExploreRun {
+    assert!(
+        (1..=MAX_THREADS).contains(&threads),
+        "explore thread count {threads} out of range"
+    );
+    let plan = schedule
+        .iter()
+        .map(|&chosen| {
+            assert!(chosen < threads, "schedule step names thread {chosen}");
+            PlanStep {
+                chosen,
+                extra_sleep: 0,
+            }
+        })
+        .collect();
+    install_run(ExpState::new(threads, plan, true, bounds.max_steps))
+}
+
+/// Harvests a replay started by [`begin_replay`]. `Ok` carries the
+/// executed schedule (equal to the recorded one, possibly extended where
+/// the window kept running past it); `Err` reports an abort.
+pub fn finish_replay(run: ExploreRun) -> Result<Vec<usize>, ReplayError> {
+    let st = harvest(run);
+    let schedule = st.decisions.iter().map(|d| d.chosen).collect();
+    match st.abort {
+        None => Ok(schedule),
+        Some(AbortKind::Diverged) => Err(ReplayError::Diverged),
+        Some(_) => Err(ReplayError::Stuck),
+    }
+}
+
+/// Failure replaying a recorded schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The schedule named a thread that was not enabled at that step —
+    /// the trace does not match this window (stale or corrupted).
+    Diverged,
+    /// The replay hit the step or forced-wake bound.
+    Stuck,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Diverged => write!(f, "schedule diverged from recorded behaviour"),
+            ReplayError::Stuck => write!(f, "replay exceeded exploration bounds"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs one execution of a window where every worker executes `f`.
+    fn run_window(explorer: &mut Explorer, f: impl Fn(usize) + Sync) -> Outcome {
+        let run = explorer.begin();
+        let start = std::sync::Barrier::new(explorer.threads);
+        std::thread::scope(|s| {
+            for t in 0..explorer.threads {
+                let f = &f;
+                let start = &start;
+                s.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _slot = crate::stress::register(t);
+                        start.wait();
+                        f(t);
+                    }));
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<ExploreAbort>().is_none() {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+            }
+        });
+        explorer.finish(run)
+    }
+
+    #[test]
+    fn two_thread_two_step_window_is_exhaustive() {
+        // Two threads × two untagged (hence pairwise dependent) steps:
+        // exactly C(4, 2) = 6 interleavings, none prunable.
+        let mut ex = Explorer::new(2, ExploreBounds::default());
+        loop {
+            let out = run_window(&mut ex, |_| {
+                crate::stress::yield_point();
+                crate::stress::yield_point();
+            });
+            assert_eq!(out, Outcome::Complete);
+            if !ex.advance() {
+                break;
+            }
+        }
+        assert!(ex.exhausted());
+        assert_eq!(ex.schedules(), 6);
+        assert_eq!(ex.redundant(), 0);
+    }
+
+    #[test]
+    fn independent_steps_are_pruned() {
+        // One tagged write to a distinct location per thread: the two
+        // interleavings are equivalent, so sleep sets prune one of them.
+        let mut ex = Explorer::new(2, ExploreBounds::default());
+        loop {
+            let out = run_window(&mut ex, |t| {
+                crate::stress::yield_point_tagged(YieldTag::Write(0x1000 + t));
+            });
+            assert_ne!(out, Outcome::Stuck);
+            if !ex.advance() {
+                break;
+            }
+        }
+        assert!(ex.exhausted());
+        assert_eq!(ex.schedules(), 1);
+        assert_eq!(ex.redundant(), 1);
+    }
+
+    #[test]
+    fn conflicting_steps_are_not_pruned() {
+        // Same location, both writing: both orders must be kept.
+        let mut ex = Explorer::new(2, ExploreBounds::default());
+        loop {
+            let out = run_window(&mut ex, |_| {
+                crate::stress::yield_point_tagged(YieldTag::Write(0x2000));
+            });
+            assert_eq!(out, Outcome::Complete);
+            if !ex.advance() {
+                break;
+            }
+        }
+        assert!(ex.exhausted());
+        assert_eq!(ex.schedules(), 2);
+        assert_eq!(ex.redundant(), 0);
+    }
+
+    #[test]
+    fn blocked_livelock_is_detected_as_stuck() {
+        let mut ex = Explorer::new(1, ExploreBounds { max_steps: 64 });
+        let out = run_window(&mut ex, |_| loop {
+            crate::stress::yield_point_tagged(YieldTag::Blocked(0xdead));
+        });
+        assert_eq!(out, Outcome::Stuck);
+        assert_eq!(ex.stuck(), 1);
+    }
+
+    #[test]
+    fn replay_forces_recorded_schedule() {
+        use std::sync::Mutex;
+        let order = Mutex::new(Vec::new());
+        let body = |t: usize| {
+            for _ in 0..3 {
+                crate::stress::yield_point();
+                order.lock().unwrap().push(t);
+            }
+        };
+
+        let mut ex = Explorer::new(2, ExploreBounds::default());
+        // Walk a few branches in so the schedule is not the trivial one.
+        for _ in 0..3 {
+            assert_eq!(run_window(&mut ex, body), Outcome::Complete);
+            assert!(ex.advance());
+        }
+        order.lock().unwrap().clear();
+        assert_eq!(run_window(&mut ex, body), Outcome::Complete);
+        let schedule = ex.last_schedule();
+        let recorded = std::mem::take(&mut *order.lock().unwrap());
+
+        let run = begin_replay(2, &schedule, &ExploreBounds::default());
+        let start = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let body = &body;
+                let start = &start;
+                s.spawn(move || {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let _slot = crate::stress::register(t);
+                        start.wait();
+                        body(t);
+                    }));
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<ExploreAbort>().is_none() {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+            }
+        });
+        let replayed = finish_replay(run).expect("replay should complete");
+        assert_eq!(replayed, schedule);
+        assert_eq!(*order.lock().unwrap(), recorded);
+    }
+}

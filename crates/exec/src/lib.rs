@@ -116,7 +116,11 @@ impl Default for ExecConfig {
 
 /// The eventcount the workers park on. See the crate docs for the
 /// prepare / re-check / commit protocol and the lost-wakeup argument.
-struct Parker {
+///
+/// Public so the lincheck suite can model-check the protocol directly
+/// (an eventcount spec runs it under both the PCT and the systematic
+/// exploration schedulers); executor users never need it.
+pub struct Parker {
     /// Bumped by every unpark; a parked worker sleeps only while the
     /// epoch still equals the ticket it drew at prepare time.
     epoch: AtomicU64,
@@ -128,7 +132,8 @@ struct Parker {
 }
 
 impl Parker {
-    fn new() -> Self {
+    /// Creates an eventcount with no waiters and epoch zero.
+    pub fn new() -> Self {
         Parker {
             epoch: AtomicU64::new(0),
             waiters: AtomicUsize::new(0),
@@ -142,14 +147,14 @@ impl Parker {
     /// [`Shared::spawn_task`]: either the spawner sees our waiter
     /// increment (and bumps the epoch), or we see its task in the
     /// caller's re-check.
-    fn prepare(&self) -> u64 {
+    pub fn prepare(&self) -> u64 {
         self.waiters.fetch_add(1, Ordering::SeqCst);
         fence(Ordering::SeqCst);
         self.epoch.load(Ordering::SeqCst)
     }
 
     /// Abandon a prepared park (the re-check found work).
-    fn cancel(&self) {
+    pub fn cancel(&self) {
         self.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -157,10 +162,13 @@ impl Parker {
     /// active stress scheduler this spins through yield points instead —
     /// nothing may block in the kernel while a deterministic schedule is
     /// running.
-    fn park(&self, ticket: u64) {
+    pub fn park(&self, ticket: u64) {
         if stress::is_active() {
             while self.epoch.load(Ordering::SeqCst) == ticket {
-                stress::yield_point();
+                // A pure recheck of the epoch word until an unpark bumps
+                // it; lets the systematic explorer park this thread until
+                // another thread runs.
+                stress::yield_point_tagged(stress::YieldTag::Blocked(self as *const Self as usize));
                 std::hint::spin_loop();
             }
         } else {
@@ -176,7 +184,7 @@ impl Parker {
     /// Wake every parked worker if any thread might be parked; the
     /// caller must have made its work visible before calling (see
     /// [`prepare`](Self::prepare) for the pairing).
-    fn unpark_all(&self) {
+    pub fn unpark_all(&self) {
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
@@ -184,13 +192,19 @@ impl Parker {
     }
 
     /// Wake every parked worker unconditionally (shutdown path).
-    fn force_unpark_all(&self) {
+    pub fn force_unpark_all(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
         // Acquiring the mutex after the bump means the bump cannot land
         // between a committing worker's epoch check (done under this
         // lock) and its condvar wait — the classic lost-wakeup window.
         drop(self.lock.lock().unwrap_or_else(|p| p.into_inner()));
         self.cvar.notify_all();
+    }
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Parker::new()
     }
 }
 

@@ -84,10 +84,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "stress")]
+pub mod explore;
 pub mod faults;
 pub mod prop;
 pub mod specs;
 pub mod stress;
+pub mod trace;
 
 use std::collections::HashSet;
 use std::fmt;

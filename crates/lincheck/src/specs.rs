@@ -196,6 +196,19 @@ pub struct MapSpec<K: Ord, V> {
     items: std::collections::BTreeMap<K, V>,
 }
 
+impl<K: Ord, V> MapSpec<K, V> {
+    /// A spec whose abstract state starts with `items` already present.
+    ///
+    /// For windows whose structure is pre-filled during `setup`: the
+    /// setup operations are not part of the recorded history, so the
+    /// spec's initial state must match the structure's.
+    pub fn prefilled(items: impl IntoIterator<Item = (K, V)>) -> Self {
+        MapSpec {
+            items: items.into_iter().collect(),
+        }
+    }
+}
+
 impl<K: Ord + Clone + std::hash::Hash, V: Clone + Eq + std::hash::Hash> Spec for MapSpec<K, V> {
     type Op = MapOp<K, V>;
     type Res = MapRes<V>;
@@ -287,6 +300,63 @@ impl Spec for CounterSpec {
                 0
             }
             CounterOp::Get => self.value,
+        }
+    }
+}
+
+/// Eventcount (gate) operations, modelling the prepare/re-check/commit
+/// protocol of `cds_exec`'s `Parker`: a `Signal` publishes a flag and
+/// wakes waiters; an `Await` announces intent to sleep (`prepare`),
+/// re-checks the flag, and either commits to having been woken or backs
+/// out (`cancel`). `Await` never actually blocks — bounded windows need
+/// every operation to return — so its result reports what the re-check
+/// observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventcountOp {
+    /// Set the flag, then wake all prepared waiters.
+    Signal,
+    /// Prepare to wait, re-check the flag, back out.
+    Await,
+}
+
+/// Eventcount results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventcountRes {
+    /// A signal completed.
+    Signaled,
+    /// The re-check observed the flag: this await would have returned
+    /// immediately (or been woken) rather than slept.
+    Woken,
+    /// The re-check observed no flag: this await would have slept. Legal
+    /// only while no `Signal` has linearized before it — an `Await` that
+    /// returns `WouldBlock` *after* a completed `Signal` is exactly a
+    /// lost wakeup.
+    WouldBlock,
+}
+
+/// Sequential eventcount: one latch-like flag.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct EventcountSpec {
+    signaled: bool,
+}
+
+impl Spec for EventcountSpec {
+    type Op = EventcountOp;
+    type Res = EventcountRes;
+
+    fn apply(&mut self, op: &EventcountOp) -> EventcountRes {
+        match op {
+            EventcountOp::Signal => {
+                self.signaled = true;
+                EventcountRes::Signaled
+            }
+            EventcountOp::Await => {
+                if self.signaled {
+                    EventcountRes::Woken
+                } else {
+                    EventcountRes::WouldBlock
+                }
+            }
         }
     }
 }

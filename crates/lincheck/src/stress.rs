@@ -120,6 +120,14 @@ pub struct StressFailure<S: Spec> {
     pub minimized: Vec<Operation<S::Op, S::Res>>,
 }
 
+impl<S: Spec> StressFailure<S> {
+    /// This failure as a replayable [`Trace`](crate::trace::Trace)
+    /// (format v1: the round seed).
+    pub fn trace(&self) -> crate::trace::Trace {
+        crate::trace::Trace::V1 { seed: self.seed }
+    }
+}
+
 impl<S: Spec> Debug for StressFailure<S>
 where
     S::Op: Debug,

@@ -1,0 +1,209 @@
+//! Versioned, replayable counterexample traces.
+//!
+//! When a harness finds a non-linearizable window it prints a one-line
+//! trace that is sufficient to reproduce the exact failing execution:
+//!
+//! * **v1** — `cds-trace v1 seed=0x1f2e3d` — a PCT stress round. The seed
+//!   drives every scheduling decision and every generated operation, so
+//!   [`stress::replay`](crate::stress::replay) reproduces the round.
+//! * **v2** — `cds-trace v2 threads=3 steps=0,1,0,2` — a systematic
+//!   exploration. There is no seed: the schedule *is* the list of worker
+//!   slots granted each step, and `explore::replay_schedule` re-runs it
+//!   byte-identically (identical history, timestamps included).
+//!
+//! Parsing accepts both versions forever: v1 traces recorded before the
+//! exploration mode existed still parse and replay. Unknown versions are
+//! rejected with [`TraceParseError::UnsupportedVersion`] rather than
+//! misread.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Current trace format version. Bump when the printed representation
+/// changes incompatibly; the `explore-matrix` CI job keys its pinned
+/// schedule counts to this number.
+pub const TRACE_FORMAT_VERSION: u32 = 2;
+
+/// A replayable counterexample trace (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trace {
+    /// A seeded PCT stress round.
+    V1 {
+        /// The round seed (as in `StressFailure::seed`).
+        seed: u64,
+    },
+    /// An explicit explored schedule: worker slot granted at each step.
+    V2 {
+        /// Worker threads in the window (slots `0..threads`).
+        threads: usize,
+        /// The slot granted at each scheduling decision, in order.
+        steps: Vec<usize>,
+    },
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trace::V1 { seed } => write!(f, "cds-trace v1 seed={seed:#x}"),
+            Trace::V2 { threads, steps } => {
+                write!(f, "cds-trace v2 threads={threads} steps=")?;
+                for (i, s) in steps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The line is not a `cds-trace` line or a field is missing/garbled.
+    Malformed(String),
+    /// The line is a `cds-trace` line of a version this build predates.
+    UnsupportedVersion(u32),
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::Malformed(why) => write!(f, "malformed trace: {why}"),
+            TraceParseError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "trace version v{v} is newer than this build (supports up to \
+                     v{TRACE_FORMAT_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn field<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, TraceParseError> {
+    token
+        .and_then(|t| t.strip_prefix(key))
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| TraceParseError::Malformed(format!("expected `{key}=...`")))
+}
+
+impl FromStr for Trace {
+    type Err = TraceParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut tokens = s.split_whitespace();
+        if tokens.next() != Some("cds-trace") {
+            return Err(TraceParseError::Malformed(
+                "missing `cds-trace` prefix".into(),
+            ));
+        }
+        let version = tokens
+            .next()
+            .and_then(|t| t.strip_prefix('v'))
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| TraceParseError::Malformed("missing version".into()))?;
+        match version {
+            1 => {
+                let seed = parse_u64(field(tokens.next(), "seed")?)
+                    .ok_or_else(|| TraceParseError::Malformed("unparseable seed".into()))?;
+                Ok(Trace::V1 { seed })
+            }
+            2 => {
+                let threads: usize = field(tokens.next(), "threads")?
+                    .parse()
+                    .map_err(|_| TraceParseError::Malformed("unparseable threads".into()))?;
+                let steps_str = field(tokens.next(), "steps")?;
+                let steps: Vec<usize> = if steps_str.is_empty() {
+                    Vec::new()
+                } else {
+                    steps_str
+                        .split(',')
+                        .map(|t| t.parse())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| TraceParseError::Malformed("unparseable steps".into()))?
+                };
+                if steps.iter().any(|&s| s >= threads) {
+                    return Err(TraceParseError::Malformed(
+                        "step names a slot >= threads".into(),
+                    ));
+                }
+                Ok(Trace::V2 { threads, steps })
+            }
+            v => Err(TraceParseError::UnsupportedVersion(v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v1_round_trips() {
+        let t = Trace::V1 { seed: 0x5eed };
+        let s = t.to_string();
+        assert_eq!(s, "cds-trace v1 seed=0x5eed");
+        assert_eq!(s.parse::<Trace>().unwrap(), t);
+    }
+
+    #[test]
+    fn v1_decimal_seed_parses() {
+        assert_eq!(
+            "cds-trace v1 seed=12345".parse::<Trace>().unwrap(),
+            Trace::V1 { seed: 12345 }
+        );
+    }
+
+    #[test]
+    fn v2_round_trips() {
+        let t = Trace::V2 {
+            threads: 3,
+            steps: vec![0, 1, 0, 2, 2],
+        };
+        let s = t.to_string();
+        assert_eq!(s, "cds-trace v2 threads=3 steps=0,1,0,2,2");
+        assert_eq!(s.parse::<Trace>().unwrap(), t);
+    }
+
+    #[test]
+    fn v2_empty_schedule_round_trips() {
+        let t = Trace::V2 {
+            threads: 1,
+            steps: vec![],
+        };
+        assert_eq!(t.to_string().parse::<Trace>().unwrap(), t);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_not_misread() {
+        match "cds-trace v3 wormholes=yes".parse::<Trace>() {
+            Err(TraceParseError::UnsupportedVersion(3)) => {}
+            other => panic!("expected UnsupportedVersion(3), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        assert!(matches!(
+            "not a trace".parse::<Trace>(),
+            Err(TraceParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            "cds-trace v2 threads=2 steps=0,7".parse::<Trace>(),
+            Err(TraceParseError::Malformed(_))
+        ));
+    }
+}

@@ -48,6 +48,39 @@ pub struct BoundedQueue<T> {
 unsafe impl<T: Send> Send for BoundedQueue<T> {}
 unsafe impl<T: Send> Sync for BoundedQueue<T> {}
 
+/// Planted-regression toggle (stress builds only): when set, the
+/// claim→publish windows of [`BoundedQueue::try_enqueue`] /
+/// [`BoundedQueue::try_dequeue`] contain an extra yield point, so a
+/// schedule can preempt a thread *between* claiming a position and
+/// touching the slot's value. Combined with
+/// [`BoundedQueue::with_capacity_unchecked`] this re-arms the capacity-1
+/// overwrite bug fixed in an earlier revision, as a known-answer target
+/// for the systematic-exploration suite. Ordinary builds and ordinary
+/// stress runs (toggle off) are unaffected; the extra yields would
+/// otherwise perturb every pinned-seed schedule.
+///
+/// Ideally this would be `#[cfg(test)]`, but the exploration suite lives
+/// in the workspace integration tests, which cannot see a library's
+/// `cfg(test)` items — `stress` + `#[doc(hidden)]` is the nearest gate.
+#[cfg(feature = "stress")]
+static CLAIM_WINDOW_YIELDS: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// See [`CLAIM_WINDOW_YIELDS`]. Returns the previous setting.
+#[cfg(feature = "stress")]
+#[doc(hidden)]
+pub fn set_claim_window_yields(on: bool) -> bool {
+    CLAIM_WINDOW_YIELDS.swap(on, Ordering::SeqCst)
+}
+
+#[inline]
+fn claim_window_yield() {
+    #[cfg(feature = "stress")]
+    if CLAIM_WINDOW_YIELDS.load(Ordering::Relaxed) {
+        cds_core::stress::yield_point();
+    }
+}
+
 impl<T> BoundedQueue<T> {
     /// Creates a queue holding at most `capacity` elements.
     ///
@@ -65,6 +98,30 @@ impl<T> BoundedQueue<T> {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         let capacity = capacity.next_power_of_two().max(2);
+        let buffer: Box<[Slot<T>]> = (0..capacity)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        BoundedQueue {
+            buffer,
+            mask: capacity - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Like [`with_capacity`](Self::with_capacity) but *without* the
+    /// minimum-capacity clamp: a capacity-1 ring is built as requested,
+    /// re-arming the sequence-stamp collision documented there. Exists
+    /// solely so the exploration suite can prove the systematic scheduler
+    /// finds that historical bug; never use it for real queues.
+    #[cfg(feature = "stress")]
+    #[doc(hidden)]
+    pub fn with_capacity_unchecked(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let capacity = capacity.next_power_of_two();
         let buffer: Box<[Slot<T>]> = (0..capacity)
             .map(|i| Slot {
                 sequence: AtomicUsize::new(i),
@@ -127,6 +184,7 @@ impl<T> BoundedQueue<T> {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            claim_window_yield();
                             // SAFETY: the claim gives exclusive write access
                             // to this slot until we bump its sequence.
                             unsafe { (*slot.value.get()).write(value) };
@@ -162,6 +220,7 @@ impl<T> BoundedQueue<T> {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            claim_window_yield();
                             // SAFETY: the claim gives exclusive read access;
                             // the producer's Release store made the value
                             // visible.
@@ -218,8 +277,28 @@ impl<T: Send> ConcurrentQueue<T> for BoundedQueue<T> {
 
 impl<T> Drop for BoundedQueue<T> {
     fn drop(&mut self) {
-        // Drain undequeued values.
-        while self.try_dequeue().is_some() {}
+        // Drain undequeued values by walking the ring directly: `&mut self`
+        // rules out concurrent claims, so a slot holds a value exactly when
+        // its sequence says "readable at this position". A `try_dequeue`
+        // loop would be equivalent on a well-formed ring but can spin
+        // forever on a corrupted one (its `dif > 0` arm waits for another
+        // consumer to advance the cursor — at drop time there is none), so
+        // the walk is bounded by the capacity instead.
+        let enq = *self.enqueue_pos.get_mut();
+        let mut pos = *self.dequeue_pos.get_mut();
+        for _ in 0..self.buffer.len() {
+            if pos == enq {
+                break;
+            }
+            let slot = &mut self.buffer[pos & self.mask];
+            if *slot.sequence.get_mut() == pos.wrapping_add(1) {
+                // SAFETY: the sequence stamp says a produced, unconsumed
+                // value sits in this slot, and `&mut self` makes us its
+                // only reader.
+                unsafe { slot.value.get_mut().assume_init_drop() };
+            }
+            pos = pos.wrapping_add(1);
+        }
     }
 }
 

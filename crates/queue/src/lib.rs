@@ -41,6 +41,9 @@ mod ms;
 mod spsc;
 mod two_lock;
 
+#[cfg(feature = "stress")]
+#[doc(hidden)]
+pub use bounded::set_claim_window_yields;
 pub use bounded::BoundedQueue;
 pub use chase_lev::{ChaseLevDeque, Steal, Stealer, Worker, MAX_BATCH};
 pub use coarse::CoarseQueue;

@@ -68,7 +68,16 @@ impl Backoff {
     /// so the pause stays bounded.
     #[inline]
     pub fn spin(&self) {
-        crate::stress::yield_point();
+        self.spin_tagged(crate::stress::YieldTag::None);
+    }
+
+    /// [`spin`](Backoff::spin) with an explicit access tag on the
+    /// embedded yield point (see [`crate::stress::YieldTag`]). A retry
+    /// after a lost CAS on location `a` should pass
+    /// `YieldTag::Write(a)`.
+    #[inline]
+    pub fn spin_tagged(&self, tag: crate::stress::YieldTag) {
+        crate::stress::yield_point_tagged(tag);
         cds_obs::count(cds_obs::Event::BackoffRound);
         let step = self.step.get().min(SPIN_LIMIT);
         for _ in 0..(1u32 << step) {
@@ -87,7 +96,16 @@ impl Backoff {
     /// spin budget is exhausted.
     #[inline]
     pub fn snooze(&self) {
-        crate::stress::yield_point();
+        self.snooze_tagged(crate::stress::YieldTag::None);
+    }
+
+    /// [`snooze`](Backoff::snooze) with an explicit access tag on the
+    /// embedded yield point. A loop that purely rechecks location `a`
+    /// (e.g. waiting for a lock word to clear) should pass
+    /// `YieldTag::Blocked(a)`.
+    #[inline]
+    pub fn snooze_tagged(&self, tag: crate::stress::YieldTag) {
+        crate::stress::yield_point_tagged(tag);
         cds_obs::count(cds_obs::Event::BackoffRound);
         let step = self.step.get();
         if step <= SPIN_LIMIT {

@@ -90,7 +90,10 @@ impl RawLock for ClhLock {
         unsafe {
             while (*pred).locked.load(Ordering::Acquire) {
                 cds_obs::count(cds_obs::Event::ClhSpin);
-                backoff.snooze();
+                // Pure recheck of the predecessor's release flag.
+                backoff.snooze_tagged(crate::stress::YieldTag::Blocked(
+                    self as *const Self as usize,
+                ));
             }
             // The predecessor released and will never touch its node again;
             // we are the only thread holding a reference to it.

@@ -73,15 +73,7 @@ mod mcs;
 mod raw;
 mod rwlock;
 mod seqlock;
-#[cfg(feature = "stress")]
 pub mod stress;
-#[cfg(not(feature = "stress"))]
-mod stress {
-    /// Inert stand-in so `Backoff` can call `stress::yield_point`
-    /// unconditionally; compiles to nothing without the `stress` feature.
-    #[inline(always)]
-    pub(crate) fn yield_point() {}
-}
 mod tas;
 mod ticket;
 mod ttas;

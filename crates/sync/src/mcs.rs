@@ -90,7 +90,10 @@ impl RawLock for McsLock {
                 let backoff = Backoff::new();
                 while (*me).locked.load(Ordering::Acquire) {
                     cds_obs::count(cds_obs::Event::McsSpin);
-                    backoff.snooze();
+                    // Pure recheck of our node's hand-off flag.
+                    backoff.snooze_tagged(crate::stress::YieldTag::Blocked(
+                        self as *const Self as usize,
+                    ));
                 }
             }
         }
@@ -145,7 +148,10 @@ impl RawLock for McsLock {
                     if !next.is_null() {
                         break;
                     }
-                    backoff.spin();
+                    // Pure recheck of the successor's `next` link.
+                    backoff.spin_tagged(crate::stress::YieldTag::Blocked(
+                        self as *const Self as usize,
+                    ));
                 }
             }
             (*next).locked.store(false, Ordering::Release);

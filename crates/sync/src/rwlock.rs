@@ -72,7 +72,9 @@ impl<T> RwSpinLock<T> {
                 return RwReadGuard { lock: self };
             }
             cds_obs::count(cds_obs::Event::RwSpin);
-            backoff.snooze();
+            // Not `Blocked`: the CAS above may fail spuriously, so a
+            // retry can succeed with no other thread stepping.
+            backoff.snooze_tagged(crate::stress::YieldTag::Write(self as *const Self as usize));
         }
     }
 
@@ -110,13 +112,16 @@ impl<T> RwSpinLock<T> {
                 break;
             }
             cds_obs::count(cds_obs::Event::RwSpin);
-            backoff.snooze();
+            // Not `Blocked`: the CAS above may fail spuriously.
+            backoff.snooze_tagged(crate::stress::YieldTag::Write(self as *const Self as usize));
         }
-        // Phase 2: wait for readers to drain.
+        // Phase 2: wait for readers to drain — a pure recheck.
         backoff.reset();
         while self.state.load(Ordering::Acquire) != WRITER {
             cds_obs::count(cds_obs::Event::RwSpin);
-            backoff.snooze();
+            backoff.snooze_tagged(crate::stress::YieldTag::Blocked(
+                self as *const Self as usize,
+            ));
         }
         cds_obs::count(cds_obs::Event::RwWriteAcquire);
         RwWriteGuard { lock: self }

@@ -69,7 +69,10 @@ impl<T: Copy> SeqLock<T> {
                 return v;
             }
             cds_obs::count(cds_obs::Event::SeqlockReadRetry);
-            backoff.snooze();
+            // Pure recheck: a retried optimistic read changes nothing.
+            backoff.snooze_tagged(crate::stress::YieldTag::Blocked(
+                self as *const Self as usize,
+            ));
         }
     }
 
@@ -112,7 +115,9 @@ impl<T: Copy> SeqLock<T> {
             {
                 break s;
             }
-            backoff.snooze();
+            // Not `Blocked`: `compare_exchange_weak` may fail spuriously,
+            // so a retry can succeed with no other thread stepping.
+            backoff.snooze_tagged(crate::stress::YieldTag::Write(self as *const Self as usize));
         };
         cds_obs::count(cds_obs::Event::SeqlockWrite);
         // SAFETY: the odd sequence value excludes other writers; readers

@@ -1,33 +1,83 @@
-//! Injectable stress yield hook.
+//! Injectable stress yield hook and yield-point access tags.
 //!
 //! `cds-sync` sits *below* `cds-core` in the crate graph, so it cannot
 //! call `cds_core::stress::yield_point` directly the way the structure
-//! crates do. Instead it exposes one registration point: when the
-//! PCT-style stress scheduler is installed, `cds-core` registers its
-//! `yield_point` here, and [`Backoff::spin`](crate::Backoff::spin) /
+//! crates do. Instead it exposes one registration point: when a stress
+//! scheduler is installed, `cds-core` registers its tagged yield entry
+//! here, and [`Backoff::spin`](crate::Backoff::spin) /
 //! [`Backoff::snooze`](crate::Backoff::snooze) route through it — so a
 //! retry loop that backs off during a contended resize migration is a
-//! real preemption point for seeds to exploit, not a scheduling blind
-//! spot.
+//! real preemption point for schedules to exploit, not a scheduling
+//! blind spot.
 //!
-//! Everything here compiles away without the `stress` feature.
+//! Each yield point may carry a [`YieldTag`] describing the shared
+//! location the *next* step will touch. The PCT scheduler ignores tags;
+//! the systematic explorer (`cds_core::stress::explore`) derives its
+//! independence relation from them. Untagged points
+//! ([`YieldTag::None`]) are treated as dependent on everything, which
+//! is always sound — tags only ever *add* pruning.
+//!
+//! The hook machinery compiles away without the `stress` feature;
+//! [`YieldTag`] itself is always available so instrumented code can
+//! mention tags without `cfg` noise.
 
-use std::sync::OnceLock;
-
-static YIELD_HOOK: OnceLock<fn()> = OnceLock::new();
-
-/// Registers the process-wide yield hook called from every backoff step.
+/// Access tag carried by a yield point, describing what the step after
+/// the yield is about to do to shared state.
 ///
-/// Idempotent: the first registration wins (the scheduler registers the
-/// same function on every install, so later calls are harmless no-ops).
-pub fn set_yield_point(f: fn()) {
-    let _ = YIELD_HOOK.set(f);
+/// The address in the payload is an opaque identity (typically the
+/// address of the lock or structure cell involved). Two steps are
+/// *independent* — safe to commute during systematic exploration — iff
+/// both are tagged, their addresses differ, or neither writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldTag {
+    /// Unknown effect: conservatively dependent on every other step.
+    None,
+    /// The step reads the tagged location but does not modify it.
+    Read(usize),
+    /// The step may modify the tagged location (stores, CAS attempts,
+    /// lock acquisitions).
+    Write(usize),
+    /// The step is a *pure recheck* of the tagged location: if no other
+    /// thread has run since this thread last paused, re-running the
+    /// step changes nothing and lands back at the same yield point
+    /// (e.g. spinning on a held lock). The explorer may deprioritize
+    /// such steps until another thread makes progress. Treated as a
+    /// read of the location for independence purposes.
+    Blocked(usize),
 }
 
-/// Invokes the registered hook, if any.
-#[inline]
-pub(crate) fn yield_point() {
-    if let Some(f) = YIELD_HOOK.get() {
-        f();
+#[cfg(feature = "stress")]
+mod hook {
+    use super::YieldTag;
+    use std::sync::OnceLock;
+
+    static YIELD_HOOK: OnceLock<fn(YieldTag)> = OnceLock::new();
+
+    /// Registers the process-wide yield hook called from every backoff
+    /// step.
+    ///
+    /// Idempotent: the first registration wins (the scheduler registers
+    /// the same function on every install, so later calls are harmless
+    /// no-ops).
+    pub fn set_yield_hook(f: fn(YieldTag)) {
+        let _ = YIELD_HOOK.set(f);
+    }
+
+    /// Invokes the registered hook, if any.
+    #[inline]
+    pub(crate) fn yield_point_tagged(tag: YieldTag) {
+        if let Some(f) = YIELD_HOOK.get() {
+            f(tag);
+        }
     }
 }
+
+#[cfg(feature = "stress")]
+pub use hook::set_yield_hook;
+#[cfg(feature = "stress")]
+pub(crate) use hook::yield_point_tagged;
+
+/// Inert stand-in: compiles to nothing without the `stress` feature.
+#[cfg(not(feature = "stress"))]
+#[inline(always)]
+pub(crate) fn yield_point_tagged(_tag: YieldTag) {}

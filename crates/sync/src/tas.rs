@@ -53,8 +53,11 @@ impl RawLock for TasLock {
             // A bare spin is a scheduling blind spot under the stress
             // scheduler: the token holder would burn its whole fairness
             // bound here. Keep the naive TAS spin (the point of this
-            // lock) but give the scheduler a preemption hook.
-            crate::stress::yield_point();
+            // lock) but give the scheduler a preemption hook. The next
+            // step is another swap attempt on the flag, hence `Write`.
+            crate::stress::yield_point_tagged(crate::stress::YieldTag::Write(
+                self as *const Self as usize,
+            ));
             cds_obs::count(cds_obs::Event::TasSpin);
             core::hint::spin_loop();
         }

@@ -74,7 +74,10 @@ impl RawLock for TicketLock {
             for _ in 0..distance.min(64) {
                 core::hint::spin_loop();
             }
-            backoff.snooze();
+            // Pure recheck of now-serving until it reaches our ticket.
+            backoff.snooze_tagged(crate::stress::YieldTag::Blocked(
+                self as *const Self as usize,
+            ));
         }
     }
 

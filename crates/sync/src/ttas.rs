@@ -53,11 +53,14 @@ impl RawLock for TtasLock {
 
     fn lock(&self) {
         let backoff = Backoff::new();
+        let addr = self as *const Self as usize;
         loop {
-            // Test: spin on a plain read until the lock looks free.
+            // Test: spin on a plain read until the lock looks free. A
+            // pure recheck of the flag — `Blocked` lets the systematic
+            // explorer park this thread until someone else runs.
             while self.locked.load(Ordering::Relaxed) {
                 cds_obs::count(cds_obs::Event::TtasSpin);
-                backoff.snooze();
+                backoff.snooze_tagged(crate::stress::YieldTag::Blocked(addr));
             }
             // Test-and-set: race for it.
             if !self.locked.swap(true, Ordering::Acquire) {
@@ -65,7 +68,7 @@ impl RawLock for TtasLock {
                 return;
             }
             cds_obs::count(cds_obs::Event::TtasSpin);
-            backoff.spin();
+            backoff.spin_tagged(crate::stress::YieldTag::Write(addr));
         }
     }
 

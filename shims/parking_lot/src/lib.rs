@@ -59,7 +59,13 @@ impl<T: ?Sized> Mutex<T> {
     /// Unlike `std`, never fails: a poisoned inner lock (holder panicked)
     /// is recovered, matching `parking_lot`'s non-poisoning semantics.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        cds_core::stress::yield_point();
+        // The entry tag: the step up to the next yield is exactly one
+        // try_lock attempt on this lock word. The post-acquire yields
+        // stay untagged because the step after them is the caller's
+        // critical section, which may touch anything.
+        cds_core::stress::yield_point_tagged(cds_core::stress::YieldTag::Write(
+            self as *const Self as *const () as usize,
+        ));
         // Under an active stress scheduler, never block in the kernel:
         // a token-holding thread sleeping on a lock held by a spinning
         // non-token thread stalls the whole schedule until the fairness
@@ -81,7 +87,10 @@ impl<T: ?Sized> Mutex<T> {
                         };
                     }
                     Err(TryLockError::WouldBlock) => {
-                        cds_core::stress::yield_point();
+                        // Pure recheck until the holder releases.
+                        cds_core::stress::yield_point_tagged(cds_core::stress::YieldTag::Blocked(
+                            self as *const Self as *const () as usize,
+                        ));
                         std::thread::yield_now();
                     }
                 }
@@ -176,7 +185,11 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access (recovers from poisoning).
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        cds_core::stress::yield_point();
+        // `Write`, not `Read`: acquiring shared access still writes the
+        // reader count in the lock word.
+        cds_core::stress::yield_point_tagged(cds_core::stress::YieldTag::Write(
+            self as *const Self as *const () as usize,
+        ));
         // Same no-kernel-blocking rule as `Mutex::lock` under an active
         // stress scheduler.
         #[cfg(feature = "stress")]
@@ -190,7 +203,9 @@ impl<T: ?Sized> RwLock<T> {
                         }
                     }
                     Err(TryLockError::WouldBlock) => {
-                        cds_core::stress::yield_point();
+                        cds_core::stress::yield_point_tagged(cds_core::stress::YieldTag::Blocked(
+                            self as *const Self as *const () as usize,
+                        ));
                         std::thread::yield_now();
                     }
                 }
@@ -206,7 +221,9 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Acquires exclusive write access (recovers from poisoning).
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        cds_core::stress::yield_point();
+        cds_core::stress::yield_point_tagged(cds_core::stress::YieldTag::Write(
+            self as *const Self as *const () as usize,
+        ));
         #[cfg(feature = "stress")]
         if cds_core::stress::is_active() {
             loop {
@@ -218,7 +235,9 @@ impl<T: ?Sized> RwLock<T> {
                         }
                     }
                     Err(TryLockError::WouldBlock) => {
-                        cds_core::stress::yield_point();
+                        cds_core::stress::yield_point_tagged(cds_core::stress::YieldTag::Blocked(
+                            self as *const Self as *const () as usize,
+                        ));
                         std::thread::yield_now();
                     }
                 }

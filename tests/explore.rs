@@ -1,0 +1,569 @@
+//! Bounded-exhaustive exploration sweep: every schedule of small fixed
+//! windows, enumerated by `cds_lincheck::explore` (DFS over scheduling
+//! decisions with sleep-set pruning), checked for linearizability.
+//!
+//! Two kinds of tests live here:
+//!
+//! * **Exhaustive windows** over correct structures (Treiber stack,
+//!   Michael–Scott queue, Vyukov bounded queue, Chase–Lev deque, the
+//!   resizing map across a live migration, and the executor's eventcount
+//!   protocol). Each pins its explored-schedule count against
+//!   `tests/explore_baseline.txt`: the DFS is fully deterministic, so a
+//!   count change means the yield-point surface or the pruning relation
+//!   changed. Counts may only change together with a
+//!   [`TRACE_FORMAT_VERSION`] bump (which unpins them until the baseline
+//!   is re-recorded); a silent drop of more than 10% is treated as lost
+//!   coverage and fails CI.
+//!
+//! * **Planted-regression known-answer tests**: the capacity-1
+//!   `BoundedQueue` overwrite and the resizing map's migration-gap race —
+//!   both real bugs fixed in earlier revisions — are re-armed behind
+//!   stress-only toggles, and `explore` must find each one
+//!   *deterministically* (no seed anywhere), ddmin-shrink the failing
+//!   window, and replay its schedule byte-identically.
+
+use std::collections::VecDeque;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use cds_core::{ConcurrentQueue, ConcurrentStack};
+use cds_lincheck::explore::{
+    explore, replay_schedule, ExploreError, ExploreOptions, ExploreReport, OnStuck,
+};
+use cds_lincheck::specs::{
+    DequeOp, DequeRes, DequeSpec, EventcountOp, EventcountRes, EventcountSpec, MapOp, MapRes,
+    MapSpec, QueueOp, QueueRes, QueueSpec, StackOp, StackRes, StackSpec,
+};
+use cds_lincheck::stress::{stress, StressOptions};
+use cds_lincheck::trace::{Trace, TRACE_FORMAT_VERSION};
+use cds_lincheck::{check_linearizable, Spec};
+
+/// The pinned-count table, compiled in so the test cannot silently run
+/// against a missing file. Format: `key=value` lines, `#` comments; the
+/// `version` key names the [`TRACE_FORMAT_VERSION`] the counts were
+/// recorded under.
+const BASELINE: &str = include_str!("explore_baseline.txt");
+
+fn baseline(key: &str) -> Option<u64> {
+    let mut version: Option<u64> = None;
+    let mut value: Option<u64> = None;
+    for line in BASELINE.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line.split_once('=').expect("baseline line is key=value");
+        let v: u64 = v.trim().parse().expect("baseline value is an integer");
+        if k.trim() == "version" {
+            version = Some(v);
+        } else if k.trim() == key {
+            value = Some(v);
+        }
+    }
+    if version != Some(u64::from(TRACE_FORMAT_VERSION)) {
+        // The trace format moved on; counts are unpinned until the
+        // baseline is re-recorded for the new version.
+        return None;
+    }
+    Some(value.unwrap_or_else(|| panic!("tests/explore_baseline.txt has no `{key}` entry")))
+}
+
+/// Asserts an exhaustive window's coverage against the pinned baseline.
+fn assert_pinned(key: &str, report: &ExploreReport) {
+    assert!(report.exhausted, "`{key}` hit max_executions: {report:?}");
+    check_pin(key, report);
+}
+
+/// Like [`assert_pinned`] but for a window whose full schedule space
+/// exceeds its execution budget (the resizing-map migration: lock-convoy
+/// branching puts it in the millions). The DFS is deterministic, so the
+/// first `max_executions` executions are a stable prefix and the schedule
+/// count over that prefix pins exactly like an exhaustive one. The cap is
+/// logged so the bounded coverage is never mistaken for exhaustion.
+fn assert_pinned_capped(key: &str, report: &ExploreReport, opts: &ExploreOptions) {
+    if report.exhausted {
+        // Better pruning (or a smaller window) made the cap non-binding;
+        // the pin below still applies, but the window could graduate to
+        // `assert_pinned`.
+        eprintln!(
+            "explore: `{key}` now exhausts below its cap of {} executions",
+            opts.max_executions
+        );
+    } else {
+        assert_eq!(
+            report.executions, opts.max_executions,
+            "`{key}` stopped early without exhausting: {report:?}"
+        );
+        eprintln!(
+            "explore: `{key}` coverage capped at {} executions (schedule space exceeds the budget)",
+            opts.max_executions
+        );
+    }
+    check_pin(key, report);
+}
+
+fn check_pin(key: &str, report: &ExploreReport) {
+    assert!(
+        report.schedules >= 2,
+        "`{key}` explored too little: {report:?}"
+    );
+    match baseline(key) {
+        Some(expected) => {
+            if report.schedules * 10 < expected * 9 {
+                panic!(
+                    "`{key}` explored-schedule count dropped >10% ({} -> {}): coverage was \
+                     lost. If the yield-point surface or independence relation changed \
+                     intentionally, bump TRACE_FORMAT_VERSION and re-record \
+                     tests/explore_baseline.txt. {report:?}",
+                    expected, report.schedules
+                );
+            }
+            assert_eq!(
+                report.schedules, expected,
+                "`{key}` explored-schedule count changed (pinned {expected}); update \
+                 tests/explore_baseline.txt if the change is intentional. {report:?}"
+            );
+        }
+        None => {
+            eprintln!(
+                "explore_baseline: version != {TRACE_FORMAT_VERSION}, `{key}` unpinned; \
+                 observed schedules={} redundant={} stuck={} executions={}",
+                report.schedules, report.redundant, report.stuck, report.executions
+            );
+        }
+    }
+}
+
+fn opts() -> ExploreOptions {
+    ExploreOptions {
+        max_steps: 2_000,
+        max_executions: 200_000,
+        on_stuck: OnStuck::Fail,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive windows over correct structures.
+// ---------------------------------------------------------------------
+
+#[test]
+fn explore_treiber_stack_window() {
+    let ops = [vec![StackOp::Push(1), StackOp::Pop], vec![StackOp::Push(2)]];
+    let report = explore(
+        StackSpec::<u64>::default(),
+        &opts(),
+        &ops,
+        cds_stack::TreiberStack::<u64>::new,
+        |s, op| match op {
+            StackOp::Push(v) => {
+                s.push(*v);
+                StackRes::Pushed
+            }
+            StackOp::Pop => StackRes::Popped(s.pop()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("treiber stack window not linearizable: {f:?}"));
+    assert_pinned("treiber_stack", &report);
+}
+
+#[test]
+fn explore_ms_queue_window() {
+    let ops = [vec![QueueOp::Enqueue(1)], vec![QueueOp::Dequeue]];
+    let report = explore(
+        QueueSpec::<u64>::default(),
+        &opts(),
+        &ops,
+        cds_queue::MsQueue::<u64>::new,
+        |q, op| match op {
+            QueueOp::Enqueue(v) => {
+                q.enqueue(*v);
+                QueueRes::Enqueued
+            }
+            QueueOp::Dequeue => QueueRes::Dequeued(q.dequeue()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("ms queue window not linearizable: {f:?}"));
+    assert_pinned("ms_queue", &report);
+}
+
+// ---------------------------------------------------------------------
+// Bounded queue: cap-2 exhaustive window, then the planted cap-1
+// overwrite regression. One test so the claim-window toggle can never
+// perturb the untoggled window from a concurrently running test.
+// ---------------------------------------------------------------------
+
+/// Try-semantics bounded-queue operations: `try_enqueue` can observe a
+/// full queue, so the result carries success/failure and the spec models
+/// the capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TryQueueOp {
+    Enq(u64),
+    Deq,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TryQueueRes {
+    Enq(bool),
+    Deq(Option<u64>),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TryQueueSpec {
+    items: VecDeque<u64>,
+    cap: usize,
+}
+
+impl TryQueueSpec {
+    fn with_capacity(cap: usize) -> Self {
+        TryQueueSpec {
+            items: VecDeque::new(),
+            cap,
+        }
+    }
+}
+
+impl Spec for TryQueueSpec {
+    type Op = TryQueueOp;
+    type Res = TryQueueRes;
+
+    fn apply(&mut self, op: &TryQueueOp) -> TryQueueRes {
+        match op {
+            TryQueueOp::Enq(v) => {
+                if self.items.len() < self.cap {
+                    self.items.push_back(*v);
+                    TryQueueRes::Enq(true)
+                } else {
+                    TryQueueRes::Enq(false)
+                }
+            }
+            TryQueueOp::Deq => TryQueueRes::Deq(self.items.pop_front()),
+        }
+    }
+}
+
+fn exec_try_queue(q: &cds_queue::BoundedQueue<u64>, op: &TryQueueOp) -> TryQueueRes {
+    match op {
+        TryQueueOp::Enq(v) => TryQueueRes::Enq(q.try_enqueue(*v).is_ok()),
+        TryQueueOp::Deq => TryQueueRes::Deq(q.try_dequeue()),
+    }
+}
+
+#[test]
+fn explore_bounded_queue_window_and_cap1_regression() {
+    // Exhaustive cap-2 window, plant off: two producers' worth of traffic
+    // never exceeds capacity, every schedule must linearize.
+    let ops = [
+        vec![TryQueueOp::Enq(1), TryQueueOp::Enq(2)],
+        vec![TryQueueOp::Deq],
+    ];
+    let report = explore(
+        TryQueueSpec::with_capacity(2),
+        &opts(),
+        &ops,
+        || cds_queue::BoundedQueue::<u64>::with_capacity(2),
+        exec_try_queue,
+    )
+    .unwrap_or_else(|f| panic!("bounded queue cap-2 window not linearizable: {f:?}"));
+    assert_pinned("bounded_queue_cap2", &report);
+
+    // The planted regression: with a single slot (capacity floor bypassed)
+    // and the claim→publish windows made preemptible, a producer can claim
+    // the slot a dequeuer is still reading and overwrite the undelivered
+    // value. `explore` must find it with zero randomness.
+    let prev = cds_queue::set_claim_window_yields(true);
+    assert!(!prev, "claim-window toggle unexpectedly already set");
+    let ops = [
+        vec![TryQueueOp::Enq(1), TryQueueOp::Enq(2)],
+        vec![TryQueueOp::Deq, TryQueueOp::Deq],
+    ];
+    let spec = TryQueueSpec::with_capacity(1);
+    let setup = || cds_queue::BoundedQueue::<u64>::with_capacity_unchecked(1);
+    let result = explore(
+        spec.clone(),
+        &ExploreOptions {
+            on_stuck: OnStuck::Continue,
+            ..opts()
+        },
+        &ops,
+        setup,
+        exec_try_queue,
+    );
+    let err = result.expect_err("explore missed the planted capacity-1 overwrite");
+    let (trace, history, minimized) = match *err {
+        ExploreError::NonLinearizable {
+            trace,
+            history,
+            minimized,
+        } => (trace, history, minimized),
+        other => panic!("expected NonLinearizable, got {other:?}"),
+    };
+    // The ddmin shrink produced a smaller, still-failing core.
+    assert!(!minimized.is_empty());
+    assert!(minimized.len() <= history.len());
+    assert!(!check_linearizable(spec.clone(), &minimized));
+    // The trace is a v2 (explicit step list) line that round-trips.
+    let line = trace.to_string();
+    assert!(
+        line.starts_with("cds-trace v2 "),
+        "unexpected trace: {line}"
+    );
+    assert_eq!(line.parse::<Trace>().unwrap(), trace);
+    // And replaying it reproduces the identical history, byte for byte.
+    let steps = match &trace {
+        Trace::V2 { steps, .. } => steps.clone(),
+        other => panic!("expected a v2 trace, got {other:?}"),
+    };
+    let replayed = replay_schedule(&ops, &steps, &opts(), setup, exec_try_queue)
+        .expect("replay of the failing schedule diverged");
+    assert_eq!(replayed, history, "replay was not byte-identical");
+    let prev = cds_queue::set_claim_window_yields(false);
+    assert!(prev);
+}
+
+#[test]
+fn explore_chase_lev_deque_window() {
+    // Only slot 0 touches `worker`, upholding the deque's single-owner
+    // contract; the wrapper exists because the explore driver shares one
+    // `&target` across all worker threads.
+    struct DequeTarget {
+        worker: cds_queue::Worker<u64>,
+        stealer: cds_queue::Stealer<u64>,
+    }
+    // SAFETY: `Worker` is !Sync only to enforce single-owner use; the
+    // fixed window routes every owner op through slot 0.
+    unsafe impl Sync for DequeTarget {}
+
+    let ops = [
+        vec![DequeOp::PushBottom(1), DequeOp::PopBottom],
+        vec![DequeOp::Steal],
+    ];
+    let report = explore(
+        DequeSpec::<u64>::default(),
+        &opts(),
+        &ops,
+        || {
+            let (worker, stealer) = cds_queue::ChaseLevDeque::<u64>::new();
+            DequeTarget { worker, stealer }
+        },
+        |d, op| match op {
+            DequeOp::PushBottom(v) => {
+                d.worker.push(*v);
+                DequeRes::Pushed
+            }
+            DequeOp::PopBottom => DequeRes::Popped(d.worker.pop()),
+            DequeOp::Steal => DequeRes::Stolen(loop {
+                match d.stealer.steal() {
+                    cds_queue::Steal::Retry => continue,
+                    cds_queue::Steal::Empty => break None,
+                    cds_queue::Steal::Success(v) => break Some(v),
+                }
+            }),
+        },
+    )
+    .unwrap_or_else(|f| panic!("chase-lev window not linearizable: {f:?}"));
+    assert_pinned("chase_lev", &report);
+}
+
+// ---------------------------------------------------------------------
+// Resizing map: exhaustive window across a live migration, then the
+// planted migration-gap regression. One test so the gap toggle can never
+// perturb the untoggled window from a concurrently running test.
+// ---------------------------------------------------------------------
+
+/// Deterministic FNV-1a hasher: `RandomState` is seeded per process, and
+/// an exhaustive window must explore the same schedules on every run.
+#[derive(Clone, Default)]
+struct FixedState;
+
+struct Fnv(u64);
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+impl BuildHasher for FixedState {
+    type Hasher = Fnv;
+    fn build_hasher(&self) -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// One shard, one bucket, five entries: past the load factor, so the
+/// successor table is installed and *every* key is still waiting to
+/// migrate when the explored window starts.
+fn map_mid_migration() -> cds_map::ResizingMap<u64, u64, FixedState> {
+    use cds_core::ConcurrentMap;
+    let m = cds_map::ResizingMap::with_config_and_hasher(1, 1, FixedState);
+    for k in 0..5 {
+        assert!(m.insert(k, k * 10));
+    }
+    assert_eq!(m.doublings(), 0, "setup must leave the migration pending");
+    m
+}
+
+fn exec_map(m: &cds_map::ResizingMap<u64, u64, FixedState>, op: &MapOp<u64, u64>) -> MapRes<u64> {
+    use cds_core::ConcurrentMap;
+    match op {
+        MapOp::Insert(k, v) => MapRes::Changed(m.insert(*k, *v)),
+        MapOp::Remove(k) => MapRes::Changed(m.remove(k)),
+        MapOp::Get(k) => MapRes::Got(m.get(k)),
+        MapOp::ContainsKey(k) => MapRes::Has(m.contains_key(k)),
+        MapOp::Len => MapRes::Len(m.len()),
+    }
+}
+
+fn prefilled_spec() -> MapSpec<u64, u64> {
+    MapSpec::prefilled((0..5).map(|k| (k, k * 10)))
+}
+
+#[test]
+fn explore_resizing_map_migration_and_gap_regression() {
+    // Exhaustive window, plant off: an insert that performs the pending
+    // bucket migration races a lookup of an already-present key. Every
+    // schedule must see the key in exactly one table.
+    // The migration's lock-convoy branching makes the full space run to
+    // millions of schedules, so this window is budget-capped: the pinned
+    // count covers the (deterministic) first 20k executions.
+    let map_opts = ExploreOptions {
+        max_executions: 20_000,
+        ..opts()
+    };
+    let ops = [vec![MapOp::Insert(5, 50)], vec![MapOp::Get(0)]];
+    let report = explore(
+        prefilled_spec(),
+        &map_opts,
+        &ops,
+        map_mid_migration,
+        exec_map,
+    )
+    .unwrap_or_else(|f| panic!("resizing map migration window not linearizable: {f:?}"));
+    assert_pinned_capped("resizing_map_migration", &report, &map_opts);
+
+    // The planted regression: the migrating thread publishes `migrated`
+    // and drops the source lock before the entries reach the destination
+    // buckets, so a lookup in the gap finds the key in *neither* table.
+    let prev = cds_map::set_migration_gap(true);
+    assert!(!prev, "migration-gap toggle unexpectedly already set");
+    let ops = [vec![MapOp::Get(0)], vec![MapOp::Get(0)]];
+    let spec = prefilled_spec();
+    let result = explore(spec.clone(), &opts(), &ops, map_mid_migration, exec_map);
+    let err = result.expect_err("explore missed the planted migration gap");
+    let (trace, history, minimized) = match *err {
+        ExploreError::NonLinearizable {
+            trace,
+            history,
+            minimized,
+        } => (trace, history, minimized),
+        other => panic!("expected NonLinearizable, got {other:?}"),
+    };
+    assert!(!minimized.is_empty());
+    assert!(!check_linearizable(spec.clone(), &minimized));
+    // The shrunk core is the smoking gun itself: a lookup of a key the
+    // map provably holds, returning "absent".
+    assert!(minimized
+        .iter()
+        .all(|o| o.result == MapRes::Got(None) && o.op == MapOp::Get(0)));
+    let steps = match &trace {
+        Trace::V2 { steps, .. } => steps.clone(),
+        other => panic!("expected a v2 trace, got {other:?}"),
+    };
+    assert_eq!(trace.to_string().parse::<Trace>().unwrap(), trace);
+    let replayed = replay_schedule(&ops, &steps, &opts(), map_mid_migration, exec_map)
+        .expect("replay of the failing schedule diverged");
+    assert_eq!(replayed, history, "replay was not byte-identical");
+    let prev = cds_map::set_migration_gap(false);
+    assert!(prev);
+}
+
+// ---------------------------------------------------------------------
+// Eventcount (executor parker): the prepare/re-check/commit protocol
+// under both systematic exploration and the PCT stress scheduler.
+// ---------------------------------------------------------------------
+
+/// A gate built the way `cds-exec` workers use their [`cds_exec::Parker`]:
+/// publish work, then wake; prepare to sleep, then re-check. `Await`
+/// never actually parks — bounded windows need every operation to return
+/// — so it reports what the post-prepare re-check observed. An `Await`
+/// that observes no flag *after* a completed `Signal` is a lost wakeup.
+struct Gate {
+    parker: cds_exec::Parker,
+    flag: AtomicBool,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            parker: cds_exec::Parker::new(),
+            flag: AtomicBool::new(false),
+        }
+    }
+}
+
+fn exec_gate(g: &Gate, op: &EventcountOp) -> EventcountRes {
+    match op {
+        EventcountOp::Signal => {
+            g.flag.store(true, Ordering::SeqCst);
+            g.parker.unpark_all();
+            EventcountRes::Signaled
+        }
+        EventcountOp::Await => {
+            let _ticket = g.parker.prepare();
+            // The classic lost-wakeup window: between announcing intent to
+            // sleep and re-checking the condition.
+            cds_core::stress::yield_point();
+            let woken = g.flag.load(Ordering::SeqCst);
+            g.parker.cancel();
+            if woken {
+                EventcountRes::Woken
+            } else {
+                EventcountRes::WouldBlock
+            }
+        }
+    }
+}
+
+#[test]
+fn explore_eventcount_window_and_pct() {
+    let ops = [
+        vec![EventcountOp::Signal],
+        vec![EventcountOp::Await, EventcountOp::Await],
+    ];
+    let report = explore(
+        EventcountSpec::default(),
+        &opts(),
+        &ops,
+        Gate::new,
+        exec_gate,
+    )
+    .unwrap_or_else(|f| panic!("eventcount window not linearizable: {f:?}"));
+    assert_pinned("eventcount", &report);
+
+    // The same protocol under the PCT sampler: the coverage the rest of
+    // the suite was missing (the parker had no lincheck spec at all).
+    stress(
+        EventcountSpec::default(),
+        &StressOptions {
+            seed: 0xec0,
+            rounds: 8,
+            ..StressOptions::default()
+        },
+        Gate::new,
+        |rng, t| {
+            if t == 0 && rng.below(2) == 0 {
+                EventcountOp::Signal
+            } else {
+                EventcountOp::Await
+            }
+        },
+        exec_gate,
+    )
+    .unwrap_or_else(|f| panic!("eventcount not linearizable under PCT: {f:?}"));
+}

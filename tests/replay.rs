@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use cds_lincheck::check_linearizable;
 use cds_lincheck::specs::{CounterOp, CounterSpec};
 use cds_lincheck::stress::{replay, stress, StressOptions};
+use cds_lincheck::trace::{Trace, TraceParseError};
 
 /// A deliberately racy counter: `add` is a load / yield / store, so a
 /// preemption injected at the yield point loses an update.
@@ -90,4 +91,36 @@ fn planted_race_is_found_and_seed_replays_it() {
     )
     .expect_err("replaying the failing seed must reproduce the failure");
     assert_eq!(again.seed, failure.seed);
+
+    // The failure doubles as a v1 trace: the printed form round-trips and
+    // carries exactly the round seed the replay above used.
+    let trace = failure.trace();
+    assert_eq!(trace, Trace::V1 { seed: failure.seed });
+    let reparsed: Trace = trace.to_string().parse().expect("v1 trace must round-trip");
+    assert_eq!(reparsed, trace);
+}
+
+/// The trace format is versioned: v1 (seed-only, what PCT failures print)
+/// must keep parsing forever even though new exploration counterexamples
+/// emit v2 (explicit step lists), and a future version must be rejected
+/// loudly instead of misread.
+#[test]
+fn trace_format_versions_coexist() {
+    let v1: Trace = "cds-trace v1 seed=0x5eed".parse().unwrap();
+    assert_eq!(v1, Trace::V1 { seed: 0x5eed });
+
+    let v2: Trace = "cds-trace v2 threads=3 steps=0,2,1,1,0".parse().unwrap();
+    assert_eq!(
+        v2,
+        Trace::V2 {
+            threads: 3,
+            steps: vec![0, 2, 1, 1, 0],
+        }
+    );
+    assert_eq!(v2.to_string().parse::<Trace>().unwrap(), v2);
+
+    assert!(matches!(
+        "cds-trace v99 whatever".parse::<Trace>(),
+        Err(TraceParseError::UnsupportedVersion(99))
+    ));
 }

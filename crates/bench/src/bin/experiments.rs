@@ -1,4 +1,4 @@
-//! Regenerates the evaluation tables (experiments E1–E13 of DESIGN.md) and
+//! Regenerates the evaluation tables (experiments E1–E14 of DESIGN.md) and
 //! emits the machine-readable measurement file.
 //!
 //! ```text
@@ -890,15 +890,189 @@ fn e13_executor(ctx: &mut Ctx) {
     }
 }
 
+fn e14_channel(ctx: &mut Ctx) {
+    use cds_bench::report::TelemetryRecord;
+    use cds_bench::{LatencyHistogram, LATENCY_SAMPLE_EVERY};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
+
+    // Blocking MPMC channel sweep: the bounded (Vyukov-ring) and
+    // unbounded (Michael–Scott) channels moving messages end to end.
+    // Each cell splits its `t` threads into `t/2` producers and `t -
+    // t/2` consumers (the t=1 column is a single thread ping-ponging
+    // send/recv, so nothing ever blocks there); producers `send` their
+    // quota, the last one to finish closes the channel, and consumers
+    // `recv` until `Closed`, so every cell exercises the park/unpark
+    // paths — senders on a full ring, receivers on an empty buffer —
+    // and ends with the channel fully drained. Throughput is messages
+    // moved end-to-end per second (each message is one send plus one
+    // recv); the latency histogram samples the blocking-send cost on
+    // the driver thread, which doubles as producer 0. With `--features
+    // telemetry` the per-cell counter deltas additionally yield the
+    // park-rate tables, and `check` enforces message conservation
+    // (sent == received + drained-at-drop) on every cell.
+
+    /// Moves `per * producers` messages through `ch` and consumes it:
+    /// the last producer to finish closes the channel, consumers drain
+    /// until `Closed`. The driver thread is producer 0 and samples its
+    /// own send latency; `consumers == 0` means single-thread ping-pong.
+    fn drive(
+        ch: &cds_chan::Channel<u64>,
+        producers: usize,
+        consumers: usize,
+        per: usize,
+        hist: &mut LatencyHistogram,
+    ) -> usize {
+        let send = |ch: &cds_chan::Channel<u64>, i: usize, hist: &mut LatencyHistogram| {
+            if i.is_multiple_of(LATENCY_SAMPLE_EVERY) {
+                let t0 = Instant::now();
+                ch.send(i as u64)
+                    .expect("channel closed under a live producer");
+                hist.record(t0.elapsed().as_nanos() as u64);
+            } else {
+                ch.send(i as u64)
+                    .expect("channel closed under a live producer");
+            }
+        };
+        if consumers == 0 {
+            for i in 0..per {
+                send(ch, i, hist);
+                ch.recv().expect("just sent");
+            }
+            ch.close();
+            return per;
+        }
+        let live = AtomicUsize::new(producers);
+        std::thread::scope(|s| {
+            for _ in 0..consumers {
+                s.spawn(|| while ch.recv().is_ok() {});
+            }
+            for _ in 1..producers {
+                s.spawn(|| {
+                    for i in 0..per {
+                        ch.send(i as u64)
+                            .expect("channel closed under a live producer");
+                    }
+                    if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        ch.close();
+                    }
+                });
+            }
+            for i in 0..per {
+                send(ch, i, hist);
+            }
+            if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                ch.close();
+            }
+        });
+        per * producers
+    }
+
+    /// One measured channel cell: fresh channels for warmup and for the
+    /// timed round (each fully drained and dropped before the telemetry
+    /// capture, so the conservation invariant is checkable). No
+    /// steady-state CoV test: parking behaviour is load-dependent and
+    /// the fixed warmup keeps cells cheap (mirrors the E13 pool cells).
+    fn chan_cell(
+        t: usize,
+        total: usize,
+        warm: Warmup,
+        make: &dyn Fn() -> cds_chan::Channel<u64>,
+    ) -> (RunStats, Option<TelemetryRecord>) {
+        let (producers, consumers) = if t == 1 { (1, 0) } else { (t / 2, t - t / 2) };
+        cds_obs::reset();
+        let base = cds_obs::Snapshot::take();
+        let mut scratch = LatencyHistogram::new();
+        let warm_per = ((total / warm.ops_divisor.max(1)).max(1) / producers).max(1);
+        for _ in 0..warm.max_iters {
+            drive(&make(), producers, consumers, warm_per, &mut scratch);
+        }
+        let per = (total / producers).max(1);
+        let mut hist = LatencyHistogram::new();
+        let start = Instant::now();
+        let ch = make();
+        let moved = drive(&ch, producers, consumers, per, &mut hist);
+        drop(ch);
+        let span = start.elapsed().as_secs_f64();
+        let tel = capture(&base);
+        (
+            RunStats {
+                mops: moved as f64 / span / 1e6,
+                duration_s: span,
+                total_ops: moved,
+                warmup_iters: warm.max_iters,
+                hist,
+            },
+            tel,
+        )
+    }
+
+    /// One channel variant across the thread sweep, recording each cell
+    /// with its telemetry delta (mirrors the E12/E13 sweep helpers).
+    fn sweep(
+        ctx: &mut Ctx,
+        name: &str,
+        make: &dyn Fn() -> cds_chan::Channel<u64>,
+    ) -> Vec<Option<TelemetryRecord>> {
+        let ops = ctx.scale.ops;
+        let warm = ctx.warm;
+        let mut cells = Vec::new();
+        let mut tels = Vec::new();
+        for &t in THREAD_SWEEP {
+            let (stats, tel) = chan_cell(t, ops, warm, make);
+            let w = Workload::ops_only(t, ops / t);
+            cells.push(ctx.record_telemetry("e14", name, &w, &stats, tel.clone()));
+            tels.push(tel);
+        }
+        row(name, &cells);
+        tels
+    }
+
+    // Capacity well below the per-producer quota so bounded senders
+    // actually hit the full-ring park path under consumer lag.
+    const BOUNDED_CAP: usize = 1 << 10;
+
+    header("E14 — blocking MPMC channel throughput (Mmsgs/s, t/2 producers : t/2 consumers)");
+    let bounded = sweep(ctx, "bounded", &|| cds_chan::bounded::<u64>(BOUNDED_CAP));
+    let unbounded = sweep(ctx, "unbounded", &|| cds_chan::unbounded::<u64>());
+
+    if cds_obs::enabled() {
+        let per_1k = |tels: &[Option<TelemetryRecord>], num: &str, den: &str| {
+            tels.iter()
+                .map(|t| {
+                    t.as_ref().map_or(0.0, |t| {
+                        let d = t.get(den);
+                        if d == 0 {
+                            0.0
+                        } else {
+                            1000.0 * t.get(num) as f64 / d as f64
+                        }
+                    })
+                })
+                .collect::<Vec<f64>>()
+        };
+        header("E14 — sender parks per 1k sends");
+        for (name, tels) in [("bounded", &bounded), ("unbounded", &unbounded)] {
+            row(name, &per_1k(tels, "chan_parks_send", "chan_sends"));
+        }
+        header("E14 — receiver parks per 1k receives");
+        for (name, tels) in [("bounded", &bounded), ("unbounded", &unbounded)] {
+            row(name, &per_1k(tels, "chan_parks_recv", "chan_recvs"));
+        }
+    }
+}
+
 /// Validates an existing report file; returns an error description on any
-/// schema violation or missing experiment. With `partial`, e1–e13
+/// schema violation or missing experiment. With `partial`, e1–e14
 /// coverage is not required (for single-experiment runs), but any e10
 /// samples present must still sweep every reclamation backend, any e11
 /// samples must cover both resize-sweep implementations with three or
 /// more recorded doublings, any e12 samples must cover the contention
 /// sweep (with telemetry records when `extras.telemetry_enabled` is 1),
-/// and any e13 samples must cover both executor workloads and — under
-/// telemetry — satisfy the spawned == executed conservation invariant.
+/// any e13 samples must cover both executor workloads and — under
+/// telemetry — satisfy the spawned == executed conservation invariant,
+/// and any e14 samples must cover both channel variants and — under
+/// telemetry — satisfy the message conservation invariant.
 fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
@@ -917,6 +1091,9 @@ fn check_file(path: &str, partial: bool) -> Result<usize, String> {
     }
     if !partial || samples.iter().any(|s| s.experiment == "e13") {
         report::validate_e13_executor(&doc, &samples).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if !partial || samples.iter().any(|s| s.experiment == "e14") {
+        report::validate_e14_channel(&doc, &samples).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(samples.len())
 }
@@ -938,7 +1115,7 @@ fn main() {
                 println!(
                     "{path}: schema v{} OK, {n} samples, {}e10 backends swept",
                     report::SCHEMA_VERSION,
-                    if partial { "" } else { "e1–e13 covered, " },
+                    if partial { "" } else { "e1–e14 covered, " },
                 );
                 return;
             }
@@ -1040,9 +1217,12 @@ fn main() {
     if want("e13") {
         e13_executor(&mut ctx);
     }
+    if want("e14") {
+        e14_channel(&mut ctx);
+    }
 
     // Recorded once here (not inside an experiment) so any run that emits
-    // JSON — including single-experiment `e12`/`e13` runs whose checks
+    // JSON — including single-experiment `e12`–`e14` runs whose checks
     // read it — carries the flag.
     ctx.report.push_extra(
         "telemetry_enabled",
@@ -1055,7 +1235,7 @@ fn main() {
             std::process::exit(1);
         }
         // Self-check: the file we just wrote must parse and satisfy the
-        // schema (and cover e1–e13 when the full suite ran).
+        // schema (and cover e1–e14 when the full suite ran).
         let text = std::fs::read_to_string(&path).expect("just wrote it");
         let doc = Json::parse(&text).unwrap_or_else(|e| {
             eprintln!("{path}: emitted invalid JSON: {e}");
@@ -1071,6 +1251,7 @@ fn main() {
                 .and_then(|()| report::validate_e11_resize(&doc, &samples))
                 .and_then(|()| report::validate_e12_contention(&doc, &samples))
                 .and_then(|()| report::validate_e13_executor(&doc, &samples))
+                .and_then(|()| report::validate_e14_channel(&doc, &samples))
             {
                 eprintln!("{path}: {e}");
                 std::process::exit(1);

@@ -5,7 +5,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "generated_by": "cds-bench experiments",
 //!   "mode": "quick" | "full",
 //!   "host": { "hardware_threads": 8, "os": "linux", "arch": "x86_64",
@@ -56,6 +56,18 @@
 //! conservation pair (`exec_tasks_spawned == exec_tasks_executed` at
 //! quiesce) and a nonzero execution signal.
 //!
+//! Version 6 adds experiment `e14` (the blocking MPMC channel sweep:
+//! bounded vs unbounded buffers over producer/consumer mixes and a
+//! thread sweep) to the required coverage set. E14 samples again reuse
+//! the v4 telemetry machinery: when `extras.telemetry_enabled` is 1,
+//! [`validate_e14_channel`] requires a telemetry record on every e14
+//! sample proving messages flowed (`chan_sends > 0`) and that message
+//! conservation held once the cell's channel dropped
+//! (`chan_sends == chan_recvs + chan_drained_at_drop`) — a mismatch
+//! means the channel lost or duplicated a message during the measured
+//! run. The same records carry the park rates (`chan_parks_send`,
+//! `chan_parks_recv`) the E14 tables report.
+//!
 //! Latency percentiles are bucket midpoints from the merged per-thread
 //! [`LatencyHistogram`](crate::LatencyHistogram)s (≤3% relative bucket
 //! error) and are sampled — one op in
@@ -71,11 +83,11 @@ use crate::{
 };
 
 /// Version stamped into (and required from) every emitted document.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
-/// The thirteen experiment identifiers a complete report must cover.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+/// The fourteen experiment identifiers a complete report must cover.
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// The reclamation backends the E10 sweep must cover.
@@ -95,6 +107,11 @@ pub const E12_IMPLS: [&str; 3] = ["treiber", "michael-scott", "ttas+backoff"];
 /// (tasks spawning tasks through the local LIFO deques) and flat spawn
 /// throughput (external submission through the injector).
 pub const E13_WORKLOADS: [&str; 2] = ["fork-join", "spawn-throughput"];
+
+/// The channel variants the E14 sweep must cover (as `impl`): the
+/// capacity-bounded Vyukov-ring channel (senders can park) and the
+/// unbounded Michael–Scott channel (only receivers park).
+pub const E14_WORKLOADS: [&str; 2] = ["bounded", "unbounded"];
 
 /// Per-cell contention telemetry (schema v4): the delta of the global
 /// `cds-obs` event counters across the cell's run (warmup included —
@@ -649,6 +666,66 @@ pub fn validate_e13_executor(doc: &Json, samples: &[Sample]) -> Result<(), Strin
             return Err(format!(
                 "e13 sample ({}, {} threads): conservation violated \
                  (spawned {spawned} != executed {executed})",
+                s.impl_name, s.threads
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the E14 channel sweep: every variant in [`E14_WORKLOADS`] must
+/// appear among the `e14` samples (as `impl`), and when
+/// `extras.telemetry_enabled` is 1 every e14 sample must carry a
+/// telemetry record whose channel counters prove (a) messages actually
+/// flowed (`chan_sends > 0`) and (b) message conservation held once the
+/// cell's channel dropped
+/// (`chan_sends == chan_recvs + chan_drained_at_drop`) — a mismatch
+/// means the channel lost or duplicated a message during the measured
+/// run.
+pub fn validate_e14_channel(doc: &Json, samples: &[Sample]) -> Result<(), String> {
+    let missing: Vec<&str> = E14_WORKLOADS
+        .iter()
+        .filter(|name| {
+            !samples
+                .iter()
+                .any(|s| s.experiment == "e14" && s.impl_name == **name)
+        })
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "e14 missing channel variants: {}",
+            missing.join(", ")
+        ));
+    }
+    let enabled = doc
+        .get("extras")
+        .and_then(|e| e.get("telemetry_enabled"))
+        .and_then(Json::as_f64)
+        .ok_or("e14 present but extras.telemetry_enabled missing")?;
+    if enabled == 0.0 {
+        return Ok(());
+    }
+    for s in samples.iter().filter(|s| s.experiment == "e14") {
+        let t = s.telemetry.as_ref().ok_or_else(|| {
+            format!(
+                "telemetry_enabled=1 but e14 sample ({}, {} threads) has no telemetry record",
+                s.impl_name, s.threads
+            )
+        })?;
+        let sends = t.get("chan_sends");
+        let recvs = t.get("chan_recvs");
+        let drained = t.get("chan_drained_at_drop");
+        if sends == 0 {
+            return Err(format!(
+                "e14 sample ({}, {} threads): channel telemetry shows no sends",
+                s.impl_name, s.threads
+            ));
+        }
+        if sends != recvs + drained {
+            return Err(format!(
+                "e14 sample ({}, {} threads): message conservation violated \
+                 (sent {sends} != received {recvs} + drained-at-drop {drained})",
                 s.impl_name, s.threads
             ));
         }

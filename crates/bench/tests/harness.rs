@@ -7,8 +7,8 @@ use std::sync::Arc;
 use cds_bench::json::Json;
 use cds_bench::report::{
     validate_coverage, validate_e10_backends, validate_e11_resize, validate_e12_contention,
-    validate_e13_executor, validate_schema, TelemetryRecord, ALL_EXPERIMENTS, E12_IMPLS,
-    E13_WORKLOADS,
+    validate_e13_executor, validate_e14_channel, validate_schema, TelemetryRecord, ALL_EXPERIMENTS,
+    E12_IMPLS, E13_WORKLOADS, E14_WORKLOADS,
 };
 use cds_bench::{
     prefill_map, prefill_pq, prefill_set, set_run, LatencyHistogram, MixedOp, OpStream, Report,
@@ -175,11 +175,12 @@ fn fake_sample(experiment: &str, threads: usize) -> Sample {
         p90_ns: 310,
         p99_ns: 1_900,
         p999_ns: 22_000,
-        // E12/E13 samples must carry a counter record whenever the
-        // document says telemetry was enabled (schema v4/v5).
+        // E12–E14 samples must carry a counter record whenever the
+        // document says telemetry was enabled (schema v4/v5/v6).
         telemetry: match experiment {
             "e12" => Some(fake_telemetry()),
             "e13" => Some(fake_exec_telemetry()),
+            "e14" => Some(fake_chan_telemetry()),
             _ => None,
         },
     }
@@ -209,6 +210,20 @@ fn fake_exec_telemetry() -> TelemetryRecord {
             ("exec_steal_hit".to_string(), 3),
             ("exec_steal_miss".to_string(), 11),
             ("exec_parks".to_string(), 2),
+        ],
+    }
+}
+
+/// A channel record satisfying the e14 message-conservation invariant
+/// (`chan_sends == chan_recvs + chan_drained_at_drop`, sends nonzero).
+fn fake_chan_telemetry() -> TelemetryRecord {
+    TelemetryRecord {
+        counters: vec![
+            ("chan_sends".to_string(), 800),
+            ("chan_recvs".to_string(), 793),
+            ("chan_drained_at_drop".to_string(), 7),
+            ("chan_parks_send".to_string(), 4),
+            ("chan_parks_recv".to_string(), 9),
         ],
     }
 }
@@ -248,6 +263,13 @@ fn emitted_json_round_trips_and_validates() {
         s.impl_name = name.to_string();
         report.push(s);
     }
+    // The e14 channel sweep must cover both variants, every sample
+    // carrying a message-conserving record (schema v6).
+    for name in E14_WORKLOADS {
+        let mut s = fake_sample("e14", 1);
+        s.impl_name = name.to_string();
+        report.push(s);
+    }
     report.push_extra("telemetry_enabled", 1.0);
 
     let text = report.to_json().to_string_pretty();
@@ -258,6 +280,7 @@ fn emitted_json_round_trips_and_validates() {
     validate_e11_resize(&doc, &samples).expect("resize sweep covers both maps and grew");
     validate_e12_contention(&doc, &samples).expect("contention sweep carries its records");
     validate_e13_executor(&doc, &samples).expect("executor sweep conserves tasks");
+    validate_e14_channel(&doc, &samples).expect("channel sweep conserves messages");
 
     // Field-for-field round trip.
     assert_eq!(samples.len(), report.samples.len());
@@ -266,7 +289,7 @@ fn emitted_json_round_trips_and_validates() {
     }
     // Document metadata survives too.
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
-    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(6));
     assert!(doc
         .get("host")
         .and_then(|h| h.get("hardware_threads"))

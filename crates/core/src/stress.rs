@@ -187,6 +187,11 @@ pub fn install(cfg: StressConfig) -> StressRun {
     // scheduler through an injected hook rather than a direct call.
     #[cfg(feature = "stress")]
     cds_sync::stress::set_yield_hook(yield_point_tagged);
+    // The factored `cds_sync::Parker` likewise cannot ask this crate
+    // whether a schedule is driving; give it the same answer `is_active`
+    // gives the structure crates.
+    #[cfg(feature = "stress")]
+    cds_sync::stress::set_active_hook(is_active);
     let change_period = cfg.change_period;
     *state_lock() = Some(SchedState {
         rng: SplitMix64::new(mix_seed(cfg.seed, 0x5ced)),

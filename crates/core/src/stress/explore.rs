@@ -469,8 +469,12 @@ fn install_run(state: ExpState) -> ExploreRun {
     install_quiet_hook();
     let exclusive = RUN_LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
     // Route `cds-sync` backoff yields into the tagged entry point, same
-    // as a PCT install.
+    // as a PCT install — and answer the `cds_sync::Parker`'s "is a
+    // schedule driving?" question, so parked threads spin through
+    // explorable yield points instead of a native condvar the driver
+    // could never preempt.
     cds_sync::stress::set_yield_hook(super::yield_point_tagged);
+    cds_sync::stress::set_active_hook(super::is_active);
     *exp_lock() = Some(state);
     GRANT.store(IDLE, Ordering::Release);
     EXPLORING.store(true, Ordering::Release);

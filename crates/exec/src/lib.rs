@@ -76,8 +76,8 @@
 use std::cell::Cell;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
 use cds_core::stress;
@@ -114,108 +114,17 @@ impl Default for ExecConfig {
     }
 }
 
-/// The eventcount the workers park on. See the crate docs for the
-/// prepare / re-check / commit protocol and the lost-wakeup argument.
+/// The eventcount the workers park on — the shared
+/// [`cds_sync::Parker`], re-exported so the protocol has one audited
+/// home (PR-9 moved it down to `cds-sync`, where `cds-chan` reuses it
+/// for blocking channel sends/receives). See the crate docs for the
+/// prepare / re-check / commit pairing with `Shared::spawn_task`'s
+/// fence, and the `cds_sync` parker docs for the lost-wakeup argument.
 ///
 /// Public so the lincheck suite can model-check the protocol directly
 /// (an eventcount spec runs it under both the PCT and the systematic
 /// exploration schedulers); executor users never need it.
-pub struct Parker {
-    /// Bumped by every unpark; a parked worker sleeps only while the
-    /// epoch still equals the ticket it drew at prepare time.
-    epoch: AtomicU64,
-    /// Workers between prepare and wake; lets the spawn fast path skip
-    /// the mutex when nobody can be parked.
-    waiters: AtomicUsize,
-    lock: Mutex<()>,
-    cvar: Condvar,
-}
-
-impl Parker {
-    /// Creates an eventcount with no waiters and epoch zero.
-    pub fn new() -> Self {
-        Parker {
-            epoch: AtomicU64::new(0),
-            waiters: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            cvar: Condvar::new(),
-        }
-    }
-
-    /// Prepare-park: announce this thread as a waiter, then draw the
-    /// epoch ticket. The `SeqCst` ordering pairs with the fence in
-    /// [`Shared::spawn_task`]: either the spawner sees our waiter
-    /// increment (and bumps the epoch), or we see its task in the
-    /// caller's re-check.
-    pub fn prepare(&self) -> u64 {
-        self.waiters.fetch_add(1, Ordering::SeqCst);
-        fence(Ordering::SeqCst);
-        self.epoch.load(Ordering::SeqCst)
-    }
-
-    /// Abandon a prepared park (the re-check found work).
-    pub fn cancel(&self) {
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// Commit-park: block until the epoch moves past `ticket`. Under an
-    /// active stress scheduler this spins through yield points instead —
-    /// nothing may block in the kernel while a deterministic schedule is
-    /// running.
-    pub fn park(&self, ticket: u64) {
-        if stress::is_active() {
-            while self.epoch.load(Ordering::SeqCst) == ticket {
-                // A pure recheck of the epoch word until an unpark bumps
-                // it; lets the systematic explorer park this thread until
-                // another thread runs.
-                stress::yield_point_tagged(stress::YieldTag::Blocked(self as *const Self as usize));
-                std::hint::spin_loop();
-            }
-        } else {
-            let mut guard = self.lock.lock().unwrap_or_else(|p| p.into_inner());
-            while self.epoch.load(Ordering::SeqCst) == ticket {
-                guard = self.cvar.wait(guard).unwrap_or_else(|p| p.into_inner());
-            }
-            drop(guard);
-        }
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    /// Wake every parked worker if any thread might be parked; the
-    /// caller must have made its work visible before calling (see
-    /// [`prepare`](Self::prepare) for the pairing).
-    pub fn unpark_all(&self) {
-        if self.waiters.load(Ordering::SeqCst) == 0 {
-            return;
-        }
-        self.force_unpark_all();
-    }
-
-    /// Wake every parked worker unconditionally (shutdown path).
-    pub fn force_unpark_all(&self) {
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        // Acquiring the mutex after the bump means the bump cannot land
-        // between a committing worker's epoch check (done under this
-        // lock) and its condvar wait — the classic lost-wakeup window.
-        drop(self.lock.lock().unwrap_or_else(|p| p.into_inner()));
-        self.cvar.notify_all();
-    }
-}
-
-impl Default for Parker {
-    fn default() -> Self {
-        Parker::new()
-    }
-}
-
-impl fmt::Debug for Parker {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Parker")
-            .field("epoch", &self.epoch.load(Ordering::Relaxed))
-            .field("waiters", &self.waiters.load(Ordering::Relaxed))
-            .finish()
-    }
-}
+pub use cds_sync::Parker;
 
 /// State shared by the pool handle and every worker thread.
 struct Shared<R: Reclaimer> {
@@ -540,6 +449,51 @@ impl<R: Reclaimer> Executor<R> {
         Handle {
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    /// Scoped fork-join over a [`cds_chan`] channel: runs every job on
+    /// the pool and blocks until all results are in, returned in
+    /// submission order. Each job sends its indexed result over a
+    /// bounded channel sized to the batch (so sends never block) and the
+    /// caller plays consumer — the canonical scatter/gather wiring of
+    /// channels into the executor.
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic is re-raised here (the worker thread
+    /// itself survives, as with [`spawn`](Self::spawn)).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let pool = cds_exec::Executor::new(2);
+    /// let squares = pool.scoped((0..8u64).map(|i| move || i * i).collect());
+    /// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    /// ```
+    pub fn scoped<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let results = cds_chan::bounded::<(usize, Option<T>)>(n.max(1));
+        for (i, job) in jobs.into_iter().enumerate() {
+            let tx = results.clone();
+            self.spawn(move || {
+                let out = std::panic::catch_unwind(AssertUnwindSafe(job)).ok();
+                // A closed channel would mean the caller gave up; it
+                // never does, but a lost send must not panic the worker.
+                let _ = tx.send((i, out));
+            });
+        }
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, v) = results.recv().expect("scoped channel closed early");
+            out[i] = v;
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("scoped job panicked"))
+            .collect()
     }
 
     /// Number of worker threads.

@@ -361,6 +361,129 @@ impl Spec for EventcountSpec {
     }
 }
 
+/// Channel operations, modelling `cds_chan`'s MPMC channel: FIFO buffer
+/// (optionally capacity-bounded), a sticky closed flag, and two-phase
+/// close semantics (send-after-close disconnects, recv-after-close
+/// drains residual messages before reporting closed).
+///
+/// Blocking operations are modelled atomically: a `Send` on a full open
+/// channel or a `Recv` on an empty open channel yields
+/// [`ChanRes::WouldBlock`] from the spec — a result no *completed*
+/// operation ever records — so a history in which such an operation
+/// completed anyway (e.g. a receiver that reported `Closed` while an
+/// `Ok`-sent message was still in the buffer) admits no linearization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChanOp {
+    /// Blocking send of a value.
+    Send(u32),
+    /// Non-blocking send of a value.
+    TrySend(u32),
+    /// Blocking receive.
+    Recv,
+    /// Non-blocking receive.
+    TryRecv,
+    /// Close the channel (idempotent; result records whether this call
+    /// made the transition).
+    Close,
+}
+
+/// Channel results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChanRes {
+    /// A send completed.
+    Sent,
+    /// A send (of either flavor) observed the channel closed.
+    Disconnected,
+    /// A `TrySend` observed a full buffer.
+    Full,
+    /// A receive delivered this value.
+    Received(u32),
+    /// A `TryRecv` observed an open, empty channel.
+    Empty,
+    /// A receive observed the channel closed *and* drained.
+    Closed,
+    /// The operation would have parked at this linearization point;
+    /// legal for no completed operation (see the type docs).
+    WouldBlock,
+    /// A `Close` completed; `true` iff it performed the transition.
+    CloseDone(bool),
+}
+
+/// Sequential MPMC channel with close semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ChannelSpec {
+    buffer: VecDeque<u32>,
+    closed: bool,
+    capacity: Option<usize>,
+}
+
+impl ChannelSpec {
+    /// An unbounded channel (sends never block).
+    pub fn unbounded() -> Self {
+        ChannelSpec::default()
+    }
+
+    /// A channel bounded at `capacity` messages. Match this to the
+    /// *real* capacity of the structure under test
+    /// (`cds_chan::Channel::capacity`), which rounds up to a power of
+    /// two of at least 2.
+    pub fn bounded(capacity: usize) -> Self {
+        ChannelSpec {
+            capacity: Some(capacity),
+            ..ChannelSpec::default()
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.buffer.len() >= c)
+    }
+}
+
+impl Spec for ChannelSpec {
+    type Op = ChanOp;
+    type Res = ChanRes;
+
+    fn apply(&mut self, op: &ChanOp) -> ChanRes {
+        match op {
+            ChanOp::Send(v) => {
+                if self.closed {
+                    ChanRes::Disconnected
+                } else if self.full() {
+                    ChanRes::WouldBlock
+                } else {
+                    self.buffer.push_back(*v);
+                    ChanRes::Sent
+                }
+            }
+            ChanOp::TrySend(v) => {
+                if self.closed {
+                    ChanRes::Disconnected
+                } else if self.full() {
+                    ChanRes::Full
+                } else {
+                    self.buffer.push_back(*v);
+                    ChanRes::Sent
+                }
+            }
+            ChanOp::Recv => match self.buffer.pop_front() {
+                Some(v) => ChanRes::Received(v),
+                None if self.closed => ChanRes::Closed,
+                None => ChanRes::WouldBlock,
+            },
+            ChanOp::TryRecv => match self.buffer.pop_front() {
+                Some(v) => ChanRes::Received(v),
+                None if self.closed => ChanRes::Closed,
+                None => ChanRes::Empty,
+            },
+            ChanOp::Close => {
+                let was = self.closed;
+                self.closed = true;
+                ChanRes::CloseDone(!was)
+            }
+        }
+    }
+}
+
 /// Register operations (results are the read value for `Read`, `0` for
 /// `Write`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -421,5 +544,35 @@ mod tests {
         p.apply(&PqOp::Insert(5));
         p.apply(&PqOp::Insert(2));
         assert_eq!(p.apply(&PqOp::RemoveMin), PqRes::Removed(Some(2)));
+    }
+
+    #[test]
+    fn channel_spec_two_phase_close() {
+        let mut c = ChannelSpec::unbounded();
+        assert_eq!(c.apply(&ChanOp::Send(1)), ChanRes::Sent);
+        assert_eq!(c.apply(&ChanOp::Send(2)), ChanRes::Sent);
+        assert_eq!(c.apply(&ChanOp::Close), ChanRes::CloseDone(true));
+        assert_eq!(c.apply(&ChanOp::Close), ChanRes::CloseDone(false));
+        assert_eq!(c.apply(&ChanOp::Send(3)), ChanRes::Disconnected);
+        // Residual messages drain before Closed is ever reported.
+        assert_eq!(c.apply(&ChanOp::Recv), ChanRes::Received(1));
+        assert_eq!(c.apply(&ChanOp::TryRecv), ChanRes::Received(2));
+        assert_eq!(c.apply(&ChanOp::Recv), ChanRes::Closed);
+        assert_eq!(c.apply(&ChanOp::TryRecv), ChanRes::Closed);
+    }
+
+    #[test]
+    fn channel_spec_bounded_blocks_and_fills() {
+        let mut c = ChannelSpec::bounded(2);
+        assert_eq!(c.apply(&ChanOp::TrySend(1)), ChanRes::Sent);
+        assert_eq!(c.apply(&ChanOp::Send(2)), ChanRes::Sent);
+        assert_eq!(c.apply(&ChanOp::TrySend(3)), ChanRes::Full);
+        assert_eq!(c.apply(&ChanOp::Send(3)), ChanRes::WouldBlock);
+        assert_eq!(c.apply(&ChanOp::TryRecv), ChanRes::Received(1));
+        assert_eq!(c.apply(&ChanOp::Send(3)), ChanRes::Sent);
+        // Blocking recv on an open empty channel has no completed result.
+        let mut empty = ChannelSpec::bounded(2);
+        assert_eq!(empty.apply(&ChanOp::Recv), ChanRes::WouldBlock);
+        assert_eq!(empty.apply(&ChanOp::TryRecv), ChanRes::Empty);
     }
 }

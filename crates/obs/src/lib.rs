@@ -179,6 +179,27 @@ events! {
     ExecStealMiss => "exec_steal_miss", Sum;
     ExecParks => "exec_parks", Sum;
     ExecInjectorOverflow => "exec_injector_overflow", Sum;
+
+    // --- cds-chan: blocking MPMC channels. Conservation invariant: once
+    // a channel is dropped, `chan_sends == chan_recvs +
+    // chan_drained_at_drop` (every successfully sent message is counted
+    // once at publication and once when it leaves the channel — through
+    // a receiver or through the drop drain). `try_send_fail` /
+    // `try_recv_empty` count non-blocking misses (full or
+    // closed / empty); `parks_send` and `parks_recv` count committed
+    // parks on the respective eventcounts; `closes` counts close() calls
+    // that actually transitioned the channel (the swap winner);
+    // `select_wins` counts committed select wake-ups (a sender CASed a
+    // waiter's slot from OPEN to its receiver index).
+    ChanSends => "chan_sends", Sum;
+    ChanRecvs => "chan_recvs", Sum;
+    ChanDrainedAtDrop => "chan_drained_at_drop", Sum;
+    ChanTrySendFail => "chan_try_send_fail", Sum;
+    ChanTryRecvEmpty => "chan_try_recv_empty", Sum;
+    ChanParksSend => "chan_parks_send", Sum;
+    ChanParksRecv => "chan_parks_recv", Sum;
+    ChanCloses => "chan_closes", Sum;
+    ChanSelectWins => "chan_select_wins", Sum;
 }
 
 /// Whether the `telemetry` feature is compiled in.

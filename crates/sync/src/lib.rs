@@ -21,8 +21,11 @@
 //! data-carrying, RAII-guarded mutex.
 //!
 //! The crate also provides the low-level utilities the rest of the family
-//! relies on: [`Backoff`] (spin→yield escalation for contended CAS loops)
-//! and [`CachePadded`] (false-sharing avoidance).
+//! relies on: [`Backoff`] (spin→yield escalation for contended CAS loops),
+//! [`CachePadded`] (false-sharing avoidance), and [`Parker`] — the
+//! eventcount block/wake protocol shared by the executor and the
+//! channels (prepare / re-check / commit, provably lost-wakeup-free;
+//! see its module docs for the pairing argument).
 //!
 //! # Spin-loop audit invariant
 //!
@@ -70,6 +73,7 @@ mod clh;
 mod flat;
 mod lock;
 mod mcs;
+mod parker;
 mod raw;
 mod rwlock;
 mod seqlock;
@@ -85,6 +89,7 @@ pub use clh::ClhLock;
 pub use flat::{FcStructure, FlatCombining};
 pub use lock::{Lock, LockGuard};
 pub use mcs::McsLock;
+pub use parker::Parker;
 pub use raw::RawLock;
 pub use rwlock::{RwReadGuard, RwSpinLock, RwWriteGuard};
 pub use seqlock::SeqLock;
@@ -108,5 +113,6 @@ mod tests {
         assert_send_sync::<SeqLock<u64>>();
         assert_send_sync::<Lock<TasLock, Vec<u8>>>();
         assert_send_sync::<CachePadded<u64>>();
+        assert_send_sync::<Parker>();
     }
 }

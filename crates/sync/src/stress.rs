@@ -52,6 +52,7 @@ mod hook {
     use std::sync::OnceLock;
 
     static YIELD_HOOK: OnceLock<fn(YieldTag)> = OnceLock::new();
+    static ACTIVE_HOOK: OnceLock<fn() -> bool> = OnceLock::new();
 
     /// Registers the process-wide yield hook called from every backoff
     /// step.
@@ -63,6 +64,17 @@ mod hook {
         let _ = YIELD_HOOK.set(f);
     }
 
+    /// Registers the process-wide "is a stress schedule running right
+    /// now" predicate. The [`Parker`](crate::Parker) consults it to
+    /// decide between a kernel block and a spin through yield points —
+    /// the harness determinism rule says nothing may sleep in the kernel
+    /// while a deterministic schedule is driving.
+    ///
+    /// Idempotent like [`set_yield_hook`]: first registration wins.
+    pub fn set_active_hook(f: fn() -> bool) {
+        let _ = ACTIVE_HOOK.set(f);
+    }
+
     /// Invokes the registered hook, if any.
     #[inline]
     pub(crate) fn yield_point_tagged(tag: YieldTag) {
@@ -70,14 +82,29 @@ mod hook {
             f(tag);
         }
     }
+
+    /// True iff a stress scheduler is installed *and* currently active.
+    /// False when no hook has been registered (plain `--features stress`
+    /// builds outside a scheduled test).
+    #[inline]
+    pub(crate) fn stress_active() -> bool {
+        ACTIVE_HOOK.get().is_some_and(|f| f())
+    }
 }
 
 #[cfg(feature = "stress")]
-pub use hook::set_yield_hook;
+pub use hook::{set_active_hook, set_yield_hook};
 #[cfg(feature = "stress")]
-pub(crate) use hook::yield_point_tagged;
+pub(crate) use hook::{stress_active, yield_point_tagged};
 
 /// Inert stand-in: compiles to nothing without the `stress` feature.
 #[cfg(not(feature = "stress"))]
 #[inline(always)]
 pub(crate) fn yield_point_tagged(_tag: YieldTag) {}
+
+/// Inert stand-in: never active without the `stress` feature.
+#[cfg(not(feature = "stress"))]
+#[inline(always)]
+pub(crate) fn stress_active() -> bool {
+    false
+}

@@ -18,6 +18,7 @@
 //! | [`tree`] | Coarse, fine-grained external, Ellen et al. lock-free BSTs |
 //! | [`prio`] | Coarse binary heap, Lotan–Shavit skiplist priority queue |
 //! | [`exec`] | Work-stealing thread pool on Chase–Lev deques (bounded injector + overflow, eventcount parking) |
+//! | [`chan`] | Blocking MPMC channels (bounded/unbounded, two-phase close, timeouts, select) over the queue family |
 //! | [`lincheck`] | History recording and Wing–Gong linearizability checking |
 //!
 //! # Example
@@ -33,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub use cds_chan as chan;
 pub use cds_core as core;
 pub use cds_counter as counter;
 pub use cds_exec as exec;

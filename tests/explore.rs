@@ -6,8 +6,9 @@
 //!
 //! * **Exhaustive windows** over correct structures (Treiber stack,
 //!   Michael–Scott queue, Vyukov bounded queue, Chase–Lev deque, the
-//!   resizing map across a live migration, and the executor's eventcount
-//!   protocol). Each pins its explored-schedule count against
+//!   resizing map across a live migration, the executor's eventcount
+//!   protocol, and the blocking channel's send/close and recv/close
+//!   interleavings). Each pins its explored-schedule count against
 //!   `tests/explore_baseline.txt`: the DFS is fully deterministic, so a
 //!   count change means the yield-point surface or the pruning relation
 //!   changed. Counts may only change together with a
@@ -16,8 +17,10 @@
 //!   coverage and fails CI.
 //!
 //! * **Planted-regression known-answer tests**: the capacity-1
-//!   `BoundedQueue` overwrite and the resizing map's migration-gap race —
-//!   both real bugs fixed in earlier revisions — are re-armed behind
+//!   `BoundedQueue` overwrite, the resizing map's migration-gap race,
+//!   and the channel close path that skips its final drain dequeue — the
+//!   first two real bugs fixed in earlier revisions, the third the race
+//!   the close protocol exists to prevent — are (re-)armed behind
 //!   stress-only toggles, and `explore` must find each one
 //!   *deterministically* (no seed anywhere), ddmin-shrink the failing
 //!   window, and replay its schedule byte-identically.
@@ -31,8 +34,9 @@ use cds_lincheck::explore::{
     explore, replay_schedule, ExploreError, ExploreOptions, ExploreReport, OnStuck,
 };
 use cds_lincheck::specs::{
-    DequeOp, DequeRes, DequeSpec, EventcountOp, EventcountRes, EventcountSpec, MapOp, MapRes,
-    MapSpec, QueueOp, QueueRes, QueueSpec, StackOp, StackRes, StackSpec,
+    ChanOp, ChanRes, ChannelSpec, DequeOp, DequeRes, DequeSpec, EventcountOp, EventcountRes,
+    EventcountSpec, MapOp, MapRes, MapSpec, QueueOp, QueueRes, QueueSpec, StackOp, StackRes,
+    StackSpec,
 };
 use cds_lincheck::stress::{stress, StressOptions};
 use cds_lincheck::trace::{Trace, TRACE_FORMAT_VERSION};
@@ -480,6 +484,133 @@ fn explore_resizing_map_migration_and_gap_regression() {
         .expect("replay of the failing schedule diverged");
     assert_eq!(replayed, history, "replay was not byte-identical");
     let prev = cds_map::set_migration_gap(false);
+    assert!(prev);
+}
+
+// ---------------------------------------------------------------------
+// Channels: close/send and close/recv interleavings exhaustively, then
+// the planted wake-before-publish close-path regression. The blocking
+// `Recv` is safe in these windows because a receive that runs after (or
+// concurrently with) `close` is guaranteed to complete: the close path
+// force-unparks every waiter and a post-close receive never re-parks.
+// ---------------------------------------------------------------------
+
+fn exec_chan(ch: &cds_chan::Channel<u32>, op: &ChanOp) -> ChanRes {
+    match op {
+        ChanOp::Send(v) => match ch.send(*v) {
+            Ok(()) => ChanRes::Sent,
+            Err(cds_chan::SendError::Disconnected(_)) => ChanRes::Disconnected,
+        },
+        ChanOp::TrySend(v) => match ch.try_send(*v) {
+            Ok(()) => ChanRes::Sent,
+            Err(cds_chan::TrySendError::Full(_)) => ChanRes::Full,
+            Err(cds_chan::TrySendError::Disconnected(_)) => ChanRes::Disconnected,
+        },
+        ChanOp::Recv => match ch.recv() {
+            Ok(v) => ChanRes::Received(v),
+            Err(cds_chan::RecvError::Closed) => ChanRes::Closed,
+        },
+        ChanOp::TryRecv => match ch.try_recv() {
+            Ok(v) => ChanRes::Received(v),
+            Err(cds_chan::TryRecvError::Empty) => ChanRes::Empty,
+            Err(cds_chan::TryRecvError::Closed) => ChanRes::Closed,
+        },
+        ChanOp::Close => ChanRes::CloseDone(ch.close()),
+    }
+}
+
+/// A send racing a close-then-drain: the send must either land before
+/// the close linearizes (and then be drained before any `Closed`
+/// answer) or come back `Disconnected` — no schedule may strand an
+/// `Ok`-sent message or hand out a phantom one. This is exactly the
+/// in-flight window the close protocol's `inflight` counter guards.
+#[test]
+fn explore_channel_send_close_window() {
+    let ops = [vec![ChanOp::Send(1)], vec![ChanOp::Close, ChanOp::TryRecv]];
+    let report = explore(
+        ChannelSpec::unbounded(),
+        &opts(),
+        &ops,
+        cds_chan::unbounded::<u32>,
+        exec_chan,
+    )
+    .unwrap_or_else(|f| panic!("channel send/close window not linearizable: {f:?}"));
+    assert_pinned("chan_send_close", &report);
+}
+
+/// A receiver that may genuinely park races a send-then-close: every
+/// schedule must wake the receiver (publish-then-wake from the send, or
+/// the close's force-unpark) and answer `Received(1)` or `Closed`
+/// consistently with where the close linearized — a receiver asleep
+/// through the close, or one that answers `Closed` with the message
+/// still buffered, shows up here as a stuck or non-linearizable
+/// schedule.
+#[test]
+fn explore_channel_recv_close_window() {
+    let ops = [vec![ChanOp::Recv], vec![ChanOp::Send(1), ChanOp::Close]];
+    let report = explore(
+        ChannelSpec::unbounded(),
+        &opts(),
+        &ops,
+        cds_chan::unbounded::<u32>,
+        exec_chan,
+    )
+    .unwrap_or_else(|f| panic!("channel recv/close window not linearizable: {f:?}"));
+    assert_pinned("chan_recv_close", &report);
+}
+
+/// The planted close-path regression: a receiver that saw (empty,
+/// closed, `inflight == 0`) trusts the close wake and skips the final
+/// drain dequeue, so a message published between its first dequeue and
+/// the inflight read is stranded — `Recv` answers `Closed` while an
+/// `Ok`-sent message sits in the buffer. `explore` must find that
+/// deterministically (no seed anywhere), ddmin-shrink the window, and
+/// replay its schedule byte-identically.
+#[test]
+fn explore_channel_planted_close_skips_final_drain() {
+    let prev = cds_chan::set_close_skips_final_drain(true);
+    assert!(!prev, "close-path toggle unexpectedly already set");
+    let ops = [vec![ChanOp::Send(1)], vec![ChanOp::Close, ChanOp::TryRecv]];
+    let spec = ChannelSpec::unbounded();
+    let result = explore(
+        spec.clone(),
+        &ExploreOptions {
+            on_stuck: OnStuck::Continue,
+            ..opts()
+        },
+        &ops,
+        cds_chan::unbounded::<u32>,
+        exec_chan,
+    );
+    let err = result.expect_err("explore missed the planted close-path drain skip");
+    let (trace, history, minimized) = match *err {
+        ExploreError::NonLinearizable {
+            trace,
+            history,
+            minimized,
+        } => (trace, history, minimized),
+        other => panic!("expected NonLinearizable, got {other:?}"),
+    };
+    // The ddmin shrink produced a smaller, still-failing core.
+    assert!(!minimized.is_empty());
+    assert!(minimized.len() <= history.len());
+    assert!(!check_linearizable(spec.clone(), &minimized));
+    // The trace is a v2 (explicit step list) line that round-trips.
+    let line = trace.to_string();
+    assert!(
+        line.starts_with("cds-trace v2 "),
+        "unexpected trace: {line}"
+    );
+    assert_eq!(line.parse::<Trace>().unwrap(), trace);
+    // And replaying it reproduces the identical history, byte for byte.
+    let steps = match &trace {
+        Trace::V2 { steps, .. } => steps.clone(),
+        other => panic!("expected a v2 trace, got {other:?}"),
+    };
+    let replayed = replay_schedule(&ops, &steps, &opts(), cds_chan::unbounded::<u32>, exec_chan)
+        .expect("replay of the failing schedule diverged");
+    assert_eq!(replayed, history, "replay was not byte-identical");
+    let prev = cds_chan::set_close_skips_final_drain(false);
     assert!(prev);
 }
 

@@ -23,8 +23,8 @@ use std::collections::HashSet;
 
 use cds_core::{ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack};
 use cds_lincheck::specs::{
-    MapOp, MapRes, MapSpec, QueueOp, QueueRes, QueueSpec, SetOp, SetSpec, StackOp, StackRes,
-    StackSpec,
+    ChanOp, ChanRes, ChannelSpec, MapOp, MapRes, MapSpec, QueueOp, QueueRes, QueueSpec, SetOp,
+    SetSpec, StackOp, StackRes, StackSpec,
 };
 use cds_lincheck::stress::{stress, StressOptions};
 use cds_queue::Steal;
@@ -198,6 +198,78 @@ fn stress_resizing_map_on<R: Reclaimer>(base: u64) {
     .unwrap_or_else(|f| panic!("resizing map under {} not linearizable: {f:?}", R::NAME));
 }
 
+/// Channel cells: the spec result an operation maps to. Shared by both
+/// channel rows.
+fn chan_exec<R: Reclaimer>(ch: &cds_chan::Channel<u32, R>, op: &ChanOp) -> ChanRes {
+    match op {
+        // Unbounded sends never park, so the blocking API is safe in a
+        // generated stream there; bounded rows generate `TrySend` only.
+        ChanOp::Send(v) => match ch.send(*v) {
+            Ok(()) => ChanRes::Sent,
+            Err(cds_chan::SendError::Disconnected(_)) => ChanRes::Disconnected,
+        },
+        ChanOp::TrySend(v) => match ch.try_send(*v) {
+            Ok(()) => ChanRes::Sent,
+            Err(cds_chan::TrySendError::Full(_)) => ChanRes::Full,
+            Err(cds_chan::TrySendError::Disconnected(_)) => ChanRes::Disconnected,
+        },
+        // Blocking `Recv` can park until close and is never generated in
+        // these symmetric streams (a window where every thread draws it
+        // would hang); the exploration windows in tests/explore.rs cover
+        // it deterministically.
+        ChanOp::Recv => unreachable!("blocking recv is not generated in matrix streams"),
+        ChanOp::TryRecv => match ch.try_recv() {
+            Ok(v) => ChanRes::Received(v),
+            Err(cds_chan::TryRecvError::Empty) => ChanRes::Empty,
+            Err(cds_chan::TryRecvError::Closed) => ChanRes::Closed,
+        },
+        ChanOp::Close => ChanRes::CloseDone(ch.close()),
+    }
+}
+
+/// Bounded-channel cell: a 2-slot ring so `Full` results are real, with
+/// close mixed into every stream so windows straddle the two-phase close
+/// (disconnected sends racing drain-then-`Closed` receives).
+fn stress_chan_bounded_on<R: Reclaimer>(base: u64) {
+    stress(
+        ChannelSpec::bounded(2),
+        &opts(cell_seed::<R>(base)),
+        || cds_chan::Channel::<u32, R>::bounded_with_reclaimer(2),
+        |rng, t| match rng.below(8) {
+            0..=2 => ChanOp::TrySend(((t as u32) << 8) | rng.below(16) as u32),
+            3..=5 => ChanOp::TryRecv,
+            6 => ChanOp::Close,
+            _ => ChanOp::TryRecv,
+        },
+        chan_exec::<R>,
+    )
+    .unwrap_or_else(|f| panic!("bounded channel under {} not linearizable: {f:?}", R::NAME));
+}
+
+/// Unbounded-channel cell: blocking `Send` (which never parks on the
+/// Michael–Scott buffer) races `TryRecv` and `Close`, exercising the
+/// in-flight send window against the close path under every backend.
+fn stress_chan_unbounded_on<R: Reclaimer>(base: u64) {
+    stress(
+        ChannelSpec::unbounded(),
+        &opts(cell_seed::<R>(base)),
+        cds_chan::Channel::<u32, R>::unbounded_with_reclaimer,
+        |rng, t| match rng.below(8) {
+            0..=2 => ChanOp::Send(((t as u32) << 8) | rng.below(16) as u32),
+            3..=5 => ChanOp::TryRecv,
+            6 => ChanOp::Close,
+            _ => ChanOp::TryRecv,
+        },
+        chan_exec::<R>,
+    )
+    .unwrap_or_else(|f| {
+        panic!(
+            "unbounded channel under {} not linearizable: {f:?}",
+            R::NAME
+        )
+    });
+}
+
 /// The Chase–Lev deque has an owner-only `push`/`pop` API, so it cannot go
 /// through the symmetric-workers lincheck harness. Instead: one owner
 /// pushes a known value set and pops, stealers race `steal`, and every
@@ -350,6 +422,22 @@ fn resizing_map_under_every_backend() {
     stress_resizing_map_on::<Hazard>(0x3a7a1c7);
     stress_resizing_map_on::<Leak>(0x3a7a1c7);
     stress_resizing_map_on::<DebugReclaim>(0x3a7a1c7);
+}
+
+#[test]
+fn bounded_channel_under_every_backend() {
+    stress_chan_bounded_on::<Ebr>(0x3a7a1c8);
+    stress_chan_bounded_on::<Hazard>(0x3a7a1c8);
+    stress_chan_bounded_on::<Leak>(0x3a7a1c8);
+    stress_chan_bounded_on::<DebugReclaim>(0x3a7a1c8);
+}
+
+#[test]
+fn unbounded_channel_under_every_backend() {
+    stress_chan_unbounded_on::<Ebr>(0x3a7a1c9);
+    stress_chan_unbounded_on::<Hazard>(0x3a7a1c9);
+    stress_chan_unbounded_on::<Leak>(0x3a7a1c9);
+    stress_chan_unbounded_on::<DebugReclaim>(0x3a7a1c9);
 }
 
 /// Plants the resize bug the retire contract exists to rule out — keeping

@@ -307,6 +307,60 @@ fn scheduled_spin_lock_guarded_counters_are_linearizable() {
     stress_lock::<cds_sync::McsLock>(0x5e9c6);
 }
 
+/// The factored [`cds_sync::Parker`] (the eventcount both the executor
+/// and the channels park on, moved down from `cds-exec` this PR) against
+/// the eventcount spec under PCT schedules: publish-then-wake racing
+/// prepare-then-re-check. An `Await` whose post-`prepare` re-check
+/// misses the flag *after* a completed `Signal` is a lost wakeup — the
+/// exact bug the prepare/re-check/commit discipline exists to rule out.
+#[test]
+fn scheduled_parker_eventcount_is_linearizable() {
+    use cds_lincheck::specs::{EventcountOp, EventcountRes, EventcountSpec};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    struct Gate {
+        parker: cds_sync::Parker,
+        flag: AtomicBool,
+    }
+
+    stress(
+        EventcountSpec::default(),
+        &opts(0x5e9c7),
+        || Gate {
+            parker: cds_sync::Parker::new(),
+            flag: AtomicBool::new(false),
+        },
+        |rng, t| {
+            if t == 0 && rng.below(2) == 0 {
+                EventcountOp::Signal
+            } else {
+                EventcountOp::Await
+            }
+        },
+        |g, op| match op {
+            EventcountOp::Signal => {
+                g.flag.store(true, Ordering::SeqCst);
+                g.parker.unpark_all();
+                EventcountRes::Signaled
+            }
+            EventcountOp::Await => {
+                let _ticket = g.parker.prepare();
+                // The classic lost-wakeup window: between announcing the
+                // intent to sleep and re-checking the condition.
+                cds_core::stress::yield_point();
+                let woken = g.flag.load(Ordering::SeqCst);
+                g.parker.cancel();
+                if woken {
+                    EventcountRes::Woken
+                } else {
+                    EventcountRes::WouldBlock
+                }
+            }
+        },
+    )
+    .unwrap_or_else(|f| panic!("cds_sync::Parker eventcount not linearizable: {f:?}"));
+}
+
 /// `SenseBarrier` round conservation under seeded schedules: no thread
 /// leaves round `r` before all `N` threads have arrived at round `r`, and
 /// exactly one thread per round is told it was the leader. A sense-reversal

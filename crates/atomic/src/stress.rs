@@ -1,0 +1,85 @@
+//! Injectable hook surface for the instrumented atomics.
+//!
+//! `cds-atomic` sits at the bottom of the crate DAG, below the stress
+//! scheduler that wants to observe it, so the dependency is inverted the
+//! same way `cds_sync::stress` inverts it for `Backoff`: the scheduler
+//! (`cds-core/stress`) registers a [`AtomicHooks`] table at install time
+//! via [`set_hooks`]. Until then — and, by the hook implementations' own
+//! fast-path checks, outside weak-memory explore windows — every atomic
+//! operation behaves exactly like its `std` counterpart.
+//!
+//! The `pre` hook fires *before* the real operation and is the tagged
+//! yield point (it may park the thread while the explorer schedules
+//! someone else). The value hooks (`load`/`store`/`rmw`/`fence`) fire
+//! *after* the real operation, while the thread still holds the
+//! scheduler's grant, and feed the weak-memory model; `load` returns the
+//! value the caller must observe, which inside a weak window may be any
+//! C11-permitted stale write rather than the latest one.
+//!
+//! [`publish_region`]/[`check_region`] support loom-style data-race
+//! detection for the non-atomic payloads guarded by atomic publication
+//! (`cds-reclaim`'s `Owned::into_shared` publishes, `Shared::deref`
+//! checks).
+
+use std::sync::OnceLock;
+
+use crate::Ordering;
+
+/// Hook table registered by the stress scheduler. All functions must be
+/// cheap no-ops when no explore window is active.
+pub struct AtomicHooks {
+    /// Tagged yield point, fired before the real operation.
+    /// `addr` is 0 for fences.
+    pub pre: fn(addr: usize, is_write: bool, order: Ordering),
+    /// A load observed `current` (the latest value); returns the value
+    /// the caller must observe instead.
+    pub load: fn(addr: usize, order: Ordering, current: u64) -> u64,
+    /// A plain store replaced `prev` with `new`.
+    pub store: fn(addr: usize, order: Ordering, prev: u64, new: u64),
+    /// A read-modify-write observed `prev`; `new` is `Some` for the
+    /// written value, or `None` for a failed compare-exchange (which
+    /// C11 treats as a load of the latest value with the failure
+    /// ordering).
+    pub rmw: fn(addr: usize, order: Ordering, prev: u64, new: Option<u64>),
+    /// A fence with the given ordering (fired after the real fence).
+    pub fence: fn(order: Ordering),
+    /// A heap region `[base, base + len)` was published to other threads.
+    pub publish: fn(base: usize, len: usize),
+    /// A non-atomic access to `[addr, addr + len)` is about to happen;
+    /// the hook panics (deterministically) if the region's publishing
+    /// store is not yet synchronized-to by the accessing thread.
+    pub check: fn(addr: usize, len: usize),
+}
+
+static HOOKS: OnceLock<&'static AtomicHooks> = OnceLock::new();
+
+/// Registers the hook table. First caller wins; later calls are ignored
+/// (the scheduler may be installed from several tests in one process).
+pub fn set_hooks(hooks: &'static AtomicHooks) {
+    let _ = HOOKS.set(hooks);
+}
+
+#[inline(always)]
+pub(crate) fn hook_table() -> Option<&'static AtomicHooks> {
+    HOOKS.get().copied()
+}
+
+/// Reports that a heap region was made reachable from shared memory
+/// (e.g. a node linked into a structure). No-op until hooks register.
+#[inline]
+pub fn publish_region(base: usize, len: usize) {
+    if let Some(h) = hook_table() {
+        (h.publish)(base, len);
+    }
+}
+
+/// Checks that the current thread is synchronized with the publication
+/// of `[addr, addr + len)` before a non-atomic access. No-op until hooks
+/// register; panics deterministically on a detected race inside a weak
+/// window with race detection enabled.
+#[inline]
+pub fn check_region(addr: usize, len: usize) {
+    if let Some(h) = hook_table() {
+        (h.check)(addr, len);
+    }
+}

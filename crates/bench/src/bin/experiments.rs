@@ -891,9 +891,9 @@ fn e13_executor(ctx: &mut Ctx) {
 }
 
 fn e14_channel(ctx: &mut Ctx) {
+    use cds_atomic::raw::{AtomicUsize, Ordering};
     use cds_bench::report::TelemetryRecord;
     use cds_bench::{LatencyHistogram, LATENCY_SAMPLE_EVERY};
-    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Instant;
 
     // Blocking MPMC channel sweep: the bounded (Vyukov-ring) and

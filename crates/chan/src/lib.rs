@@ -81,8 +81,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use cds_atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 

@@ -278,24 +278,23 @@ mod tests {
 
     /// The traits must remain implementable and object-usable via generics;
     /// a toy implementation exercises the default methods.
-    struct ToyCounter(std::sync::atomic::AtomicI64);
+    struct ToyCounter(cds_atomic::raw::AtomicI64);
 
     impl ConcurrentCounter for ToyCounter {
         const NAME: &'static str = "toy";
 
         fn add(&self, delta: i64) {
-            self.0
-                .fetch_add(delta, std::sync::atomic::Ordering::Relaxed);
+            self.0.fetch_add(delta, cds_atomic::raw::Ordering::Relaxed);
         }
 
         fn get(&self) -> i64 {
-            self.0.load(std::sync::atomic::Ordering::Relaxed)
+            self.0.load(cds_atomic::raw::Ordering::Relaxed)
         }
     }
 
     #[test]
     fn default_increment_adds_one() {
-        let c = ToyCounter(std::sync::atomic::AtomicI64::new(0));
+        let c = ToyCounter(cds_atomic::raw::AtomicI64::new(0));
         c.increment();
         c.add(4);
         assert_eq!(c.get(), 5);

@@ -32,11 +32,15 @@
 
 use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+// The scheduler's own state must stay invisible to the instrumented
+// atomics layer it drives, hence `raw`.
+use cds_atomic::raw::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 #[cfg(feature = "stress")]
 pub mod explore;
+#[cfg(feature = "stress")]
+mod weak;
 
 pub use cds_sync::stress::YieldTag;
 
@@ -139,11 +143,11 @@ impl SchedState {
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
-static DEMOTIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static DEMOTIONS: cds_atomic::raw::AtomicU64 = cds_atomic::raw::AtomicU64::new(0);
 /// Cache of `SchedState::token` (`usize::MAX` = none): non-token threads
 /// wait on this atomic instead of hammering the state mutex, which would
 /// otherwise serialize the token holder against every spinner.
-static TOKEN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(usize::MAX);
+static TOKEN: cds_atomic::raw::AtomicUsize = cds_atomic::raw::AtomicUsize::new(usize::MAX);
 static STATE: Mutex<Option<SchedState>> = Mutex::new(None);
 static RUN_LOCK: Mutex<()> = Mutex::new(());
 
@@ -364,6 +368,31 @@ fn yield_point_slow(tag: YieldTag) {
     }
 }
 
+/// The slot the calling thread registered with, if any.
+#[cfg_attr(not(feature = "stress"), allow(dead_code))]
+pub(crate) fn current_slot() -> Option<usize> {
+    CUR_SLOT.with(|c| c.get())
+}
+
+/// Operation-boundary marker for weak-memory exploration.
+///
+/// Harnesses that drive per-thread operation sequences (the lincheck
+/// explore driver) call this on the worker thread before each operation
+/// and once after its last, giving the weak-memory model the real-time
+/// completion edges linearizability is defined against: weak behaviors
+/// stay confined to operations that actually overlap. A no-op in every
+/// other configuration (default builds, PCT rounds, non-weak explore
+/// windows), so callers need not gate it.
+#[inline]
+pub fn op_boundary() {
+    #[cfg(feature = "stress")]
+    if explore::mode_active() {
+        if let Some(slot) = current_slot() {
+            explore::op_boundary(slot);
+        }
+    }
+}
+
 /// Whether a stress scheduler is currently installed and active.
 pub fn is_active() -> bool {
     ACTIVE.load(Ordering::Acquire)
@@ -419,7 +448,7 @@ mod tests {
     #[cfg(feature = "stress")]
     #[test]
     fn two_workers_make_progress_under_scheduler() {
-        use std::sync::atomic::AtomicUsize;
+        use cds_atomic::raw::AtomicUsize;
         use std::sync::Arc;
         let run = install(StressConfig {
             seed: 7,

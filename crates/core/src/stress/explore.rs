@@ -67,9 +67,10 @@
 //! [`begin_replay`] re-executes verbatim, which is what the lincheck
 //! trace format v2 stores.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use cds_atomic::raw::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, Once};
 
+use super::weak::WeakState;
 use super::{YieldTag, ACTIVE, MAX_THREADS, RUN_LOCK};
 
 /// `GRANT` value meaning "no thread may step".
@@ -89,11 +90,32 @@ pub struct ExploreBounds {
     /// threads × `k` ops needs roughly `t·k` times the per-op yield
     /// count, so the default is generous for lincheck-sized windows.
     pub max_steps: u64,
+    /// Enables the weak-memory execution layer: every instrumented
+    /// atomic operation becomes a tagged step, and loads branch over
+    /// the C11-permitted read-from candidates (see
+    /// [`super::weak`](super::weak) module docs). Only meaningful for
+    /// targets whose synchronization goes entirely through
+    /// `cds-atomic`; lock-based structures synchronize through the
+    /// `parking_lot` shim, which the model cannot see.
+    pub weak_memory: bool,
+    /// With `weak_memory`: a load may read one of at most this many of
+    /// the newest stores to its location (the staleness search bound).
+    pub weak_window: usize,
+    /// With `weak_memory`: loom-style publication/race checking of
+    /// non-atomic node payloads (`cds-reclaim` region hooks). A
+    /// detected race panics the worker deterministically instead of
+    /// producing a linearizability verdict.
+    pub detect_races: bool,
 }
 
 impl Default for ExploreBounds {
     fn default() -> Self {
-        ExploreBounds { max_steps: 4096 }
+        ExploreBounds {
+            max_steps: 4096,
+            weak_memory: false,
+            weak_window: 4,
+            detect_races: false,
+        }
     }
 }
 
@@ -117,6 +139,21 @@ struct PlanStep {
     /// Siblings already fully explored at this node; they join the sleep
     /// set for this branch per the sleep-set discipline.
     extra_sleep: u64,
+}
+
+/// One entry of an execution's interleaved decision log: scheduling
+/// choices and (in weak-memory mode) read-from choices, in program
+/// order. The DFS tree is grown from this log, so value branching
+/// nests correctly inside schedule branching.
+#[derive(Debug, Clone, Copy)]
+enum LogEntry {
+    Thread(Decision),
+    /// A load with more than one read-from candidate chose
+    /// `chosen` (offset into the candidate suffix; `count - 1` is the
+    /// latest store). Single-candidate loads are not logged.
+    Read {
+        chosen: usize,
+    },
 }
 
 /// Why an execution stopped early.
@@ -190,6 +227,11 @@ fn install_quiet_hook() {
 struct ExpState {
     threads: usize,
     plan: Vec<PlanStep>,
+    /// Forced read-from choices, consumed in order by loads with more
+    /// than one candidate. Deterministic execution keeps the two plan
+    /// queues aligned without recording their interleaving.
+    plan_reads: Vec<usize>,
+    rcursor: usize,
     /// Replay mode: never prune as redundant, ignore sleep sets beyond
     /// the plan.
     replay_only: bool,
@@ -205,6 +247,13 @@ struct ExpState {
     tags: [YieldTag; MAX_THREADS],
     sleep: u64,
     decisions: Vec<Decision>,
+    /// Interleaved log of thread and read-from decisions (see
+    /// [`LogEntry`]); `decisions` is its thread-only projection, kept
+    /// separately because the thread-plan cursor indexes it.
+    log: Vec<LogEntry>,
+    /// Weak-memory machine, present iff
+    /// [`ExploreBounds::weak_memory`].
+    weak: Option<WeakState>,
     steps: u64,
     forced_wakes: u32,
     abort: Option<AbortKind>,
@@ -228,12 +277,20 @@ fn independent(a: YieldTag, b: YieldTag) -> bool {
 }
 
 impl ExpState {
-    fn new(threads: usize, plan: Vec<PlanStep>, replay_only: bool, max_steps: u64) -> Self {
+    fn new(
+        threads: usize,
+        plan: Vec<PlanStep>,
+        plan_reads: Vec<usize>,
+        replay_only: bool,
+        bounds: &ExploreBounds,
+    ) -> Self {
         ExpState {
             threads,
             plan,
+            plan_reads,
+            rcursor: 0,
             replay_only,
-            max_steps,
+            max_steps: bounds.max_steps,
             registered: 0,
             paused: 0,
             finished: 0,
@@ -242,6 +299,10 @@ impl ExpState {
             tags: [YieldTag::None; MAX_THREADS],
             sleep: 0,
             decisions: Vec::new(),
+            log: Vec::new(),
+            weak: bounds
+                .weak_memory
+                .then(|| WeakState::new(threads, bounds.weak_window, bounds.detect_races)),
             steps: 0,
             forced_wakes: 0,
             abort: None,
@@ -305,11 +366,13 @@ impl ExpState {
                 (cands.trailing_zeros() as usize, 0)
             }
         };
-        self.decisions.push(Decision {
+        let decision = Decision {
             chosen,
             enabled,
             sleep: self.sleep,
-        });
+        };
+        self.decisions.push(decision);
+        self.log.push(LogEntry::Thread(decision));
         // Sleep-set propagation: already-explored siblings (and inherited
         // sleepers) stay asleep down this branch only while independent
         // of the step just granted.
@@ -331,6 +394,46 @@ impl ExpState {
         self.paused &= !(1u64 << chosen);
         self.running = Some(chosen);
         GRANT.store(chosen, Ordering::Release);
+    }
+
+    /// Resolves one read-from choice: consumes the read plan, else
+    /// defaults to the latest store (so the first execution of every
+    /// branch behaves sequentially consistently) and logs the branch
+    /// point for the DFS. `None` means the plan diverged and the abort
+    /// was triggered.
+    fn choose_read(&mut self, count: usize) -> Option<usize> {
+        if count <= 1 {
+            return Some(0);
+        }
+        let chosen = if self.rcursor < self.plan_reads.len() {
+            let c = self.plan_reads[self.rcursor];
+            self.rcursor += 1;
+            if c >= count {
+                self.trigger_abort(AbortKind::Diverged);
+                return None;
+            }
+            c
+        } else {
+            count - 1
+        };
+        self.log.push(LogEntry::Read { chosen });
+        Some(chosen)
+    }
+
+    /// Weak-memory load: computes the candidate set, branches, and
+    /// returns the observed value. `None` means the execution aborted.
+    fn weak_load(
+        &mut self,
+        slot: usize,
+        addr: usize,
+        order: Ordering,
+        current: u64,
+    ) -> Option<u64> {
+        let weak = self.weak.as_mut().expect("weak_load without weak state");
+        let count = weak.load_candidates(slot, addr, order, current);
+        let chosen = self.choose_read(count)?;
+        let weak = self.weak.as_mut().expect("weak state vanished");
+        Some(weak.load_commit(slot, addr, order, count, chosen))
     }
 }
 
@@ -443,6 +546,165 @@ pub(super) fn on_yield(slot: usize, tag: YieldTag) {
     }
 }
 
+/// Fast-path gate for the atomic hooks: true only while an installed
+/// explore round carries a weak-memory machine. Keeps instrumented
+/// atomics inert (no extra yields, no value rewrites) for PCT rounds
+/// and for non-weak explore windows, so their schedules and baseline
+/// counts are untouched by the instrumentation.
+static WEAK_ON: AtomicBool = AtomicBool::new(false);
+
+/// Hook table handed to `cds-atomic` (once per process; the gate above
+/// keeps it inert between weak windows).
+static ATOMIC_HOOKS: cds_atomic::stress::AtomicHooks = cds_atomic::stress::AtomicHooks {
+    pre: atomic_pre,
+    load: atomic_load,
+    store: atomic_store,
+    rmw: atomic_rmw,
+    fence: atomic_fence,
+    publish: atomic_publish,
+    check: atomic_check,
+};
+
+/// The registered slot of the calling thread, when a weak window is
+/// active. `None` short-circuits every hook for unregistered threads
+/// (the driver doing setup/teardown runs at real-memory semantics,
+/// which is correct: real memory always holds the latest value).
+#[inline]
+fn weak_slot() -> Option<usize> {
+    if !WEAK_ON.load(Ordering::Acquire) {
+        return None;
+    }
+    super::current_slot()
+}
+
+fn atomic_pre(addr: usize, is_write: bool, _order: cds_atomic::Ordering) {
+    if weak_slot().is_none() {
+        return;
+    }
+    let tag = if addr == 0 {
+        // Fences have no location; conservatively dependent on all.
+        YieldTag::None
+    } else if is_write {
+        YieldTag::Write(addr)
+    } else {
+        YieldTag::Read(addr)
+    };
+    super::yield_point_tagged(tag);
+}
+
+fn atomic_load(addr: usize, order: cds_atomic::Ordering, current: u64) -> u64 {
+    let Some(slot) = weak_slot() else {
+        return current;
+    };
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else {
+        return current;
+    };
+    let bit = 1u64 << slot;
+    if st.weak.is_none() || st.registered & bit == 0 || st.finished & bit != 0 {
+        return current;
+    }
+    match st.weak_load(slot, addr, order, current) {
+        Some(v) => v,
+        None => {
+            drop(guard);
+            abort_panic()
+        }
+    }
+}
+
+fn atomic_store(addr: usize, order: cds_atomic::Ordering, prev: u64, new: u64) {
+    let Some(slot) = weak_slot() else { return };
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else { return };
+    let bit = 1u64 << slot;
+    if st.registered & bit == 0 || st.finished & bit != 0 {
+        return;
+    }
+    if let Some(w) = st.weak.as_mut() {
+        w.store(slot, addr, order, prev, new);
+    }
+}
+
+fn atomic_rmw(addr: usize, order: cds_atomic::Ordering, prev: u64, new: Option<u64>) {
+    let Some(slot) = weak_slot() else { return };
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else { return };
+    let bit = 1u64 << slot;
+    if st.registered & bit == 0 || st.finished & bit != 0 {
+        return;
+    }
+    if let Some(w) = st.weak.as_mut() {
+        w.rmw(slot, addr, order, prev, new);
+    }
+}
+
+fn atomic_fence(order: cds_atomic::Ordering) {
+    let Some(slot) = weak_slot() else { return };
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else { return };
+    let bit = 1u64 << slot;
+    if st.registered & bit == 0 || st.finished & bit != 0 {
+        return;
+    }
+    if let Some(w) = st.weak.as_mut() {
+        w.fence(slot, order);
+    }
+}
+
+fn atomic_publish(base: usize, len: usize) {
+    if !WEAK_ON.load(Ordering::Acquire) {
+        return;
+    }
+    let slot = super::current_slot();
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else { return };
+    let writer =
+        slot.filter(|&s| st.registered & (1u64 << s) != 0 && st.finished & (1u64 << s) == 0);
+    if let Some(w) = st.weak.as_mut() {
+        w.publish(writer, base, len);
+    }
+}
+
+fn atomic_check(addr: usize, len: usize) {
+    let Some(slot) = weak_slot() else { return };
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else { return };
+    let bit = 1u64 << slot;
+    if st.registered & bit == 0 || st.finished & bit != 0 {
+        return;
+    }
+    let Some(w) = st.weak.as_ref() else { return };
+    if let Err(race) = w.check(slot, addr, len) {
+        drop(guard);
+        // Deterministic message (no raw addresses, which ASLR would
+        // perturb): replays of the same trace panic byte-identically.
+        panic!(
+            "weak-memory race: thread {} dereferenced a region published by thread {} \
+             (event {}) without synchronizing with its release",
+            race.accessor, race.writer, race.stamp
+        );
+    }
+}
+
+/// Real-time completion edge for weak windows: the harness calls this
+/// (via [`super::op_boundary`]) on the worker thread between its
+/// consecutive operations. No-op outside weak windows.
+pub(super) fn op_boundary(slot: usize) {
+    if !WEAK_ON.load(Ordering::Acquire) {
+        return;
+    }
+    let mut guard = exp_lock();
+    let Some(st) = guard.as_mut() else { return };
+    let bit = 1u64 << slot;
+    if st.registered & bit == 0 {
+        return;
+    }
+    if let Some(w) = st.weak.as_mut() {
+        w.op_boundary(slot);
+    }
+}
+
 /// An installed explore round; uninstalls on drop. Returned by
 /// [`Explorer::begin`] / [`begin_replay`] and consumed by
 /// [`Explorer::finish`] / [`finish_replay`] after the workers joined.
@@ -458,6 +720,7 @@ impl std::fmt::Debug for ExploreRun {
 
 impl Drop for ExploreRun {
     fn drop(&mut self) {
+        WEAK_ON.store(false, Ordering::Release);
         ACTIVE.store(false, Ordering::Release);
         EXPLORING.store(false, Ordering::Release);
         *exp_lock() = None;
@@ -475,6 +738,11 @@ fn install_run(state: ExpState) -> ExploreRun {
     // could never preempt.
     cds_sync::stress::set_yield_hook(super::yield_point_tagged);
     cds_sync::stress::set_active_hook(super::is_active);
+    // Same inversion one layer lower: `cds-atomic` reaches the weak
+    // machine through its hook table. Registered once; the WEAK_ON
+    // gate keeps the hooks inert outside weak windows.
+    cds_atomic::stress::set_hooks(&ATOMIC_HOOKS);
+    WEAK_ON.store(state.weak.is_some(), Ordering::Release);
     *exp_lock() = Some(state);
     GRANT.store(IDLE, Ordering::Release);
     EXPLORING.store(true, Ordering::Release);
@@ -490,18 +758,27 @@ fn harvest(run: ExploreRun) -> ExpState {
     state
 }
 
-/// A node of the DFS tree, one per scheduling decision along the current
-/// path.
+/// A node of the DFS tree, one per decision along the current path:
+/// either a scheduling choice or (weak mode) a read-from choice.
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    /// Threads choosable at this node when it was first reached.
-    enabled: u64,
-    /// Sleep set inherited at this node.
-    sleep: u64,
-    /// Child currently (or last) being explored.
-    chosen: usize,
-    /// Children explored so far, including `chosen`.
-    done: u64,
+enum Node {
+    Thread {
+        /// Threads choosable at this node when it was first reached.
+        enabled: u64,
+        /// Sleep set inherited at this node.
+        sleep: u64,
+        /// Child currently (or last) being explored.
+        chosen: usize,
+        /// Children explored so far, including `chosen`.
+        done: u64,
+    },
+    Read {
+        /// Current read-from choice. Children are explored from the
+        /// latest store (`count - 1`, the SC-like default the first
+        /// execution took) down to the stalest (`0`), so the choice
+        /// doubles as the remaining-work counter.
+        chosen: usize,
+    },
 }
 
 /// Depth-first enumerator of thread schedules with sleep-set pruning.
@@ -515,8 +792,10 @@ pub struct Explorer {
     bounds: ExploreBounds,
     stack: Vec<Node>,
     plan: Vec<PlanStep>,
-    /// Decision log of the most recent execution.
-    last: Vec<Decision>,
+    plan_reads: Vec<usize>,
+    /// Interleaved decision log of the most recent execution.
+    last: Vec<LogEntry>,
+    /// Total planned decisions (thread + read) of the current branch.
     plan_len: usize,
     schedules: u64,
     redundant: u64,
@@ -552,6 +831,7 @@ impl Explorer {
             bounds,
             stack: Vec::new(),
             plan: Vec::new(),
+            plan_reads: Vec::new(),
             last: Vec::new(),
             plan_len: 0,
             schedules: 0,
@@ -567,12 +847,13 @@ impl Explorer {
     /// `0..threads` and hit yield points as usual.
     pub fn begin(&mut self) -> ExploreRun {
         assert!(!self.exhausted, "explorer already exhausted");
-        self.plan_len = self.plan.len();
+        self.plan_len = self.plan.len() + self.plan_reads.len();
         install_run(ExpState::new(
             self.threads,
             self.plan.clone(),
+            self.plan_reads.clone(),
             false,
-            self.bounds.max_steps,
+            &self.bounds,
         ))
     }
 
@@ -582,15 +863,18 @@ impl Explorer {
     pub fn finish(&mut self, run: ExploreRun) -> Outcome {
         let st = harvest(run);
         self.executions += 1;
-        for d in &st.decisions[self.plan_len.min(st.decisions.len())..] {
-            self.stack.push(Node {
-                enabled: d.enabled,
-                sleep: d.sleep,
-                chosen: d.chosen,
-                done: 1u64 << d.chosen,
+        for e in &st.log[self.plan_len.min(st.log.len())..] {
+            self.stack.push(match *e {
+                LogEntry::Thread(d) => Node::Thread {
+                    enabled: d.enabled,
+                    sleep: d.sleep,
+                    chosen: d.chosen,
+                    done: 1u64 << d.chosen,
+                },
+                LogEntry::Read { chosen } => Node::Read { chosen },
             });
         }
-        self.last = st.decisions;
+        self.last = st.log;
         match st.abort {
             None => {
                 self.schedules += 1;
@@ -613,20 +897,31 @@ impl Explorer {
     /// has been covered.
     pub fn advance(&mut self) -> bool {
         while let Some(top) = self.stack.last_mut() {
-            let cands = top.enabled & !top.sleep & !top.done;
-            if cands != 0 {
-                let c = cands.trailing_zeros() as usize;
-                top.done |= 1u64 << c;
-                top.chosen = c;
-                self.plan = self
-                    .stack
-                    .iter()
-                    .map(|n| PlanStep {
-                        chosen: n.chosen,
-                        extra_sleep: n.done & !(1u64 << n.chosen),
-                    })
-                    .collect();
-                return true;
+            match top {
+                Node::Thread {
+                    enabled,
+                    sleep,
+                    chosen,
+                    done,
+                } => {
+                    let cands = *enabled & !*sleep & !*done;
+                    if cands != 0 {
+                        let c = cands.trailing_zeros() as usize;
+                        *done |= 1u64 << c;
+                        *chosen = c;
+                        self.replan();
+                        return true;
+                    }
+                }
+                Node::Read { chosen } => {
+                    // First execution chose the latest store
+                    // (`count - 1`); walk down toward the stalest.
+                    if *chosen > 0 {
+                        *chosen -= 1;
+                        self.replan();
+                        return true;
+                    }
+                }
             }
             self.stack.pop();
         }
@@ -634,10 +929,44 @@ impl Explorer {
         false
     }
 
+    /// Rebuilds the two plan queues from the DFS stack.
+    fn replan(&mut self) {
+        self.plan.clear();
+        self.plan_reads.clear();
+        for n in &self.stack {
+            match *n {
+                Node::Thread { chosen, done, .. } => self.plan.push(PlanStep {
+                    chosen,
+                    extra_sleep: done & !(1u64 << chosen),
+                }),
+                Node::Read { chosen } => self.plan_reads.push(chosen),
+            }
+        }
+    }
+
     /// Thread choices of the most recent execution, in order — the
     /// schedule a trace stores and [`begin_replay`] re-executes.
     pub fn last_schedule(&self) -> Vec<usize> {
-        self.last.iter().map(|d| d.chosen).collect()
+        self.last
+            .iter()
+            .filter_map(|e| match e {
+                LogEntry::Thread(d) => Some(d.chosen),
+                LogEntry::Read { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Read-from choices of the most recent execution, in order — what
+    /// trace format v3 stores alongside the schedule (one entry per
+    /// load that had more than one candidate).
+    pub fn last_reads(&self) -> Vec<usize> {
+        self.last
+            .iter()
+            .filter_map(|e| match e {
+                LogEntry::Read { chosen } => Some(*chosen),
+                LogEntry::Thread(_) => None,
+            })
+            .collect()
     }
 
     /// Completed (non-redundant, non-stuck) schedules explored so far.
@@ -667,9 +996,16 @@ impl Explorer {
 }
 
 /// Installs the explore scheduler in replay mode: the recorded
-/// `schedule` (thread choice per step) is forced verbatim, with no
-/// pruning. Use with the same worker window that produced the schedule.
-pub fn begin_replay(threads: usize, schedule: &[usize], bounds: &ExploreBounds) -> ExploreRun {
+/// `schedule` (thread choice per step) and `reads` (read-from choice
+/// per multi-candidate load; empty outside weak mode) are forced
+/// verbatim, with no pruning. Use with the same worker window that
+/// produced them.
+pub fn begin_replay(
+    threads: usize,
+    schedule: &[usize],
+    reads: &[usize],
+    bounds: &ExploreBounds,
+) -> ExploreRun {
     assert!(
         (1..=MAX_THREADS).contains(&threads),
         "explore thread count {threads} out of range"
@@ -684,7 +1020,7 @@ pub fn begin_replay(threads: usize, schedule: &[usize], bounds: &ExploreBounds) 
             }
         })
         .collect();
-    install_run(ExpState::new(threads, plan, true, bounds.max_steps))
+    install_run(ExpState::new(threads, plan, reads.to_vec(), true, bounds))
 }
 
 /// Harvests a replay started by [`begin_replay`]. `Ok` carries the
@@ -809,7 +1145,13 @@ mod tests {
 
     #[test]
     fn blocked_livelock_is_detected_as_stuck() {
-        let mut ex = Explorer::new(1, ExploreBounds { max_steps: 64 });
+        let mut ex = Explorer::new(
+            1,
+            ExploreBounds {
+                max_steps: 64,
+                ..ExploreBounds::default()
+            },
+        );
         let out = run_window(&mut ex, |_| loop {
             crate::stress::yield_point_tagged(YieldTag::Blocked(0xdead));
         });
@@ -839,7 +1181,7 @@ mod tests {
         let schedule = ex.last_schedule();
         let recorded = std::mem::take(&mut *order.lock().unwrap());
 
-        let run = begin_replay(2, &schedule, &ExploreBounds::default());
+        let run = begin_replay(2, &schedule, &[], &ExploreBounds::default());
         let start = std::sync::Barrier::new(2);
         std::thread::scope(|s| {
             for t in 0..2 {

@@ -1,5 +1,5 @@
+use cds_atomic::{AtomicI64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicI64, Ordering};
 
 use cds_core::ConcurrentCounter;
 

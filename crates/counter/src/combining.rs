@@ -1,5 +1,5 @@
+use cds_atomic::{AtomicBool, AtomicI64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 
 use cds_core::ConcurrentCounter;
 use cds_sync::CachePadded;

@@ -1,5 +1,5 @@
+use cds_atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
 use cds_core::ConcurrentCounter;
 use cds_sync::CachePadded;

@@ -54,7 +54,7 @@
 //!
 //! ```
 //! use cds_exec::Executor;
-//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use cds_atomic::{AtomicU64, Ordering};
 //! use std::sync::Arc;
 //!
 //! let pool = Executor::new(2);
@@ -73,10 +73,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use cds_atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::cell::Cell;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
@@ -600,7 +600,7 @@ impl<R: Reclaimer> fmt::Debug for Handle<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64 as Counter;
+    use cds_atomic::AtomicU64 as Counter;
 
     #[test]
     fn runs_every_task_once() {

@@ -11,10 +11,22 @@
 //! The operation window is fixed per thread (`ops[t]` is the exact
 //! sequence slot `t` executes), because exhaustiveness is only meaningful
 //! when every execution runs the same operations. Failures carry a
-//! [`Trace`] (format v2: the explicit step list) and
-//! [`replay_schedule`] re-runs one schedule and returns its recorded
+//! [`Trace`] (format v2: the explicit step list; format v3 when
+//! weak-memory exploration is on, adding each load's read-from choice)
+//! and [`replay_schedule`] re-runs one schedule and returns its recorded
 //! history — byte-identical to the original, timestamps included, because
 //! execution under the explore scheduler is fully serialized.
+//!
+//! With [`ExploreOptions::weak_memory`] set, the DFS additionally
+//! branches on which store each `Relaxed`/`Acquire` load of a
+//! [`cds_atomic`]-instrumented location observes (bounded by
+//! [`ExploreOptions::weak_window`]), so ordering bugs — a demoted
+//! release, a relaxed publish — become enumerable behaviors instead of
+//! rare hardware events. Real-time completion edges are inserted at
+//! operation boundaries ([`cds_core::stress::op_boundary`]): a store is
+//! guaranteed visible to every operation that *begins* after the storing
+//! operation *returned*, matching linearizability's real-time order, so
+//! only genuinely concurrent operations exhibit weak behavior.
 //!
 //! Exploration is a correctness tool: executions are serialized one step
 //! at a time, so wall-clock numbers from these runs say nothing about
@@ -43,6 +55,18 @@ pub struct ExploreOptions {
     pub max_executions: u64,
     /// What a stuck execution means for the run as a whole.
     pub on_stuck: OnStuck,
+    /// Branch on weak-memory read-from choices for instrumented atomics
+    /// (see module docs). Failures carry v3 traces. Default `false`.
+    pub weak_memory: bool,
+    /// With `weak_memory`: how many per-location trailing stores a load
+    /// may observe (1 = SC). Default 4.
+    pub weak_window: usize,
+    /// With `weak_memory`: panic deterministically when a thread
+    /// dereferences a published region ([`cds_atomic::stress::publish_region`])
+    /// without having synchronized with its release — catches demoted
+    /// publication even when the stale read itself happens through a
+    /// plain (non-atomic) field. Default `false`.
+    pub detect_races: bool,
 }
 
 impl Default for ExploreOptions {
@@ -51,6 +75,9 @@ impl Default for ExploreOptions {
             max_steps: 4096,
             max_executions: 1_000_000,
             on_stuck: OnStuck::Fail,
+            weak_memory: false,
+            weak_window: 4,
+            detect_races: false,
         }
     }
 }
@@ -91,7 +118,7 @@ pub struct ExploreReport {
 pub enum ExploreError<S: Spec> {
     /// A complete execution recorded a non-linearizable window.
     NonLinearizable {
-        /// The failing schedule as a v2 trace; feed its steps to
+        /// The failing schedule as a v2 (or, weak, v3) trace; feed it to
         /// [`replay_schedule`] to reproduce the identical history.
         trace: Trace,
         /// The full recorded window.
@@ -202,9 +229,7 @@ where
         window <= 64,
         "explore window of {window} ops exceeds the checker's 64-op cap"
     );
-    let bounds = ExploreBounds {
-        max_steps: opts.max_steps,
-    };
+    let bounds = bounds_of(opts);
     let mut explorer = exp::Explorer::new(threads, bounds);
     loop {
         // `run` owns the installed round; it must outlive the worker scope
@@ -212,9 +237,17 @@ where
         let run = explorer.begin();
         let (history, panic_msg) = run_window(threads, ops, &setup, &exec);
         let outcome = explorer.finish(run);
-        let trace = Trace::V2 {
-            threads,
-            steps: explorer.last_schedule(),
+        let trace = if opts.weak_memory {
+            Trace::V3 {
+                threads,
+                steps: explorer.last_schedule(),
+                reads: explorer.last_reads(),
+            }
+        } else {
+            Trace::V2 {
+                threads,
+                steps: explorer.last_schedule(),
+            }
         };
         if let Some(message) = panic_msg {
             eprintln!("explore: worker panicked ({message}); schedule {trace}");
@@ -250,6 +283,15 @@ where
     }
 }
 
+fn bounds_of(opts: &ExploreOptions) -> ExploreBounds {
+    ExploreBounds {
+        max_steps: opts.max_steps,
+        weak_memory: opts.weak_memory,
+        weak_window: opts.weak_window,
+        detect_races: opts.detect_races,
+    }
+}
+
 fn report(e: &exp::Explorer, exhausted: bool) -> ExploreReport {
     ExploreReport {
         schedules: e.schedules(),
@@ -270,6 +312,7 @@ fn report(e: &exp::Explorer, exhausted: bool) -> ExploreReport {
 pub fn replay_schedule<T, Op, Res, Setup, Exec>(
     ops: &[Vec<Op>],
     steps: &[usize],
+    reads: &[usize],
     opts: &ExploreOptions,
     setup: Setup,
     exec: Exec,
@@ -282,10 +325,8 @@ where
     Exec: Fn(&T, &Op) -> Res + Sync,
 {
     let threads = ops.len();
-    let bounds = ExploreBounds {
-        max_steps: opts.max_steps,
-    };
-    let run = exp::begin_replay(threads, steps, &bounds);
+    let bounds = bounds_of(opts);
+    let run = exp::begin_replay(threads, steps, reads, &bounds);
     let (history, panic_msg) = run_window(threads, ops, &setup, &exec);
     let result = exp::finish_replay(run);
     if let Some(msg) = panic_msg {
@@ -295,6 +336,100 @@ where
         Ok(_) => Ok(history),
         Err(exp::ReplayError::Diverged) => Err(ReplayScheduleError::Diverged),
         Err(exp::ReplayError::Stuck) => Err(ReplayScheduleError::Stuck),
+    }
+}
+
+/// Minimizes a window whose exploration fails with a *panic* — e.g. a
+/// weak-memory region race from [`ExploreOptions::detect_races`] — by
+/// greedy ddmin over the per-thread operation lists: repeatedly drop one
+/// operation and keep the smaller window whenever exploration still
+/// panics. Linearizability violations shrink through
+/// [`shrink_history`](crate::shrink_history) instead; this is for
+/// failures that have no history to shrink because a worker died.
+///
+/// Returns the minimized window together with the trace and message of
+/// its panicking execution, or `None` if the original window does not
+/// panic at all. Each probe is a full (bounded) exploration of a smaller
+/// window, so use this on the small fixed windows it is meant for.
+pub fn shrink_panicking_window<T, Op, Res, Setup, Exec>(
+    opts: &ExploreOptions,
+    ops: &[Vec<Op>],
+    setup: Setup,
+    exec: Exec,
+) -> Option<(Vec<Vec<Op>>, Trace, String)>
+where
+    Op: Clone + Send + Sync,
+    Res: Clone + Send,
+    T: Sync,
+    Setup: Fn() -> T,
+    Exec: Fn(&T, &Op) -> Res + Sync,
+{
+    let mut cur: Vec<Vec<Op>> = ops.to_vec();
+    let (mut trace, mut message) = explore_for_panic(opts, &cur, &setup, &exec)?;
+    loop {
+        let mut improved = false;
+        for t in 0..cur.len() {
+            let mut i = 0;
+            while i < cur[t].len() {
+                let mut cand = cur.clone();
+                cand[t].remove(i);
+                if let Some((tr, msg)) = explore_for_panic(opts, &cand, &setup, &exec) {
+                    cur = cand;
+                    trace = tr;
+                    message = msg;
+                    improved = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !improved {
+            return Some((cur, trace, message));
+        }
+    }
+}
+
+/// Explores `ops` looking only for a panicking execution; ignores
+/// linearizability entirely (no spec required). Stuck executions are
+/// skipped. Returns the first panic's trace and message.
+fn explore_for_panic<T, Op, Res, Setup, Exec>(
+    opts: &ExploreOptions,
+    ops: &[Vec<Op>],
+    setup: &Setup,
+    exec: &Exec,
+) -> Option<(Trace, String)>
+where
+    Op: Clone + Send + Sync,
+    Res: Clone + Send,
+    T: Sync,
+    Setup: Fn() -> T,
+    Exec: Fn(&T, &Op) -> Res + Sync,
+{
+    let threads = ops.len();
+    let mut explorer = exp::Explorer::new(threads, bounds_of(opts));
+    loop {
+        let run = explorer.begin();
+        let (_history, panic_msg): (Vec<Operation<Op, Res>>, _) =
+            run_window(threads, ops, setup, exec);
+        let _ = explorer.finish(run);
+        if let Some(message) = panic_msg {
+            let trace = if opts.weak_memory {
+                Trace::V3 {
+                    threads,
+                    steps: explorer.last_schedule(),
+                    reads: explorer.last_reads(),
+                }
+            } else {
+                Trace::V2 {
+                    threads,
+                    steps: explorer.last_schedule(),
+                }
+            };
+            return Some((trace, message));
+        }
+        if explorer.executions() >= opts.max_executions || !explorer.advance() {
+            return None;
+        }
     }
 }
 
@@ -331,7 +466,20 @@ where
                     start.wait();
                     for op in thread_ops {
                         sched::yield_point();
-                        recorder.record(op.clone(), || exec(target, op));
+                        recorder.record(op.clone(), || {
+                            // Real-time completion edges for weak-memory
+                            // exploration: absorb everything that completed
+                            // before this operation was invoked, and publish
+                            // this operation's effects before its response
+                            // is recorded. Both sit *inside* the recorded
+                            // span, so the synchronization they add is only
+                            // ever a sound under-approximation of the
+                            // history's real-time order. No-ops otherwise.
+                            sched::op_boundary();
+                            let res = exec(target, op);
+                            sched::op_boundary();
+                            res
+                        });
                     }
                 }));
                 if let Err(payload) = result {

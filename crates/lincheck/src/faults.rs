@@ -16,8 +16,8 @@
 //!   structure from background threads while the caller runs a checked
 //!   workload in the foreground.
 
+use cds_atomic::raw::{AtomicBool, Ordering};
 use std::fmt::Debug;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Configuration for [`with_contention_storm`].
 #[derive(Debug, Clone)]
@@ -55,7 +55,7 @@ where
     T: Sync,
 {
     let handle = StormHandle {
-        crashed: std::sync::atomic::AtomicUsize::new(0),
+        crashed: cds_atomic::raw::AtomicUsize::new(0),
         done: AtomicBool::new(false),
     };
     std::thread::scope(|s| {
@@ -82,7 +82,7 @@ where
 /// Storm bookkeeping visible to the foreground closure.
 #[derive(Debug)]
 pub struct StormHandle {
-    crashed: std::sync::atomic::AtomicUsize,
+    crashed: cds_atomic::raw::AtomicUsize,
     done: AtomicBool,
 }
 
@@ -114,7 +114,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicI64;
+    use cds_atomic::raw::AtomicI64;
 
     #[test]
     fn storm_runs_all_hammers_and_main() {

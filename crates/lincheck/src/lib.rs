@@ -92,10 +92,10 @@ pub mod specs;
 pub mod stress;
 pub mod trace;
 
+use cds_atomic::raw::{AtomicU64, Ordering};
 use std::collections::HashSet;
 use std::fmt;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A sequential specification of an abstract data type.

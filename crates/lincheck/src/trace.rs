@@ -10,8 +10,13 @@
 //!   exploration. There is no seed: the schedule *is* the list of worker
 //!   slots granted each step, and `explore::replay_schedule` re-runs it
 //!   byte-identically (identical history, timestamps included).
+//! * **v3** — `cds-trace v3 threads=2 steps=0,1,0 reads=1,0` — a
+//!   weak-memory exploration: the schedule plus the read-from choice
+//!   each multi-candidate load made (offset into its candidate suffix,
+//!   `0` = stalest permitted store). Loads with a single candidate are
+//!   not recorded; `reads=` may therefore be empty even in weak mode.
 //!
-//! Parsing accepts both versions forever: v1 traces recorded before the
+//! Parsing accepts all older versions forever: v1 traces recorded before the
 //! exploration mode existed still parse and replay. Unknown versions are
 //! rejected with [`TraceParseError::UnsupportedVersion`] rather than
 //! misread.
@@ -22,7 +27,7 @@ use std::str::FromStr;
 /// Current trace format version. Bump when the printed representation
 /// changes incompatibly; the `explore-matrix` CI job keys its pinned
 /// schedule counts to this number.
-pub const TRACE_FORMAT_VERSION: u32 = 2;
+pub const TRACE_FORMAT_VERSION: u32 = 3;
 
 /// A replayable counterexample trace (see the [module docs](self)).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +44,27 @@ pub enum Trace {
         /// The slot granted at each scheduling decision, in order.
         steps: Vec<usize>,
     },
+    /// A weak-memory exploration: the schedule plus the read-from
+    /// choices (one per load that had more than one candidate).
+    V3 {
+        /// Worker threads in the window (slots `0..threads`).
+        threads: usize,
+        /// The slot granted at each scheduling decision, in order.
+        steps: Vec<usize>,
+        /// Read-from choice per multi-candidate load, in execution
+        /// order; each is an offset into that load's candidate suffix.
+        reads: Vec<usize>,
+    },
+}
+
+fn write_list(f: &mut fmt::Formatter<'_>, items: &[usize]) -> fmt::Result {
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(",")?;
+        }
+        write!(f, "{s}")?;
+    }
+    Ok(())
 }
 
 impl fmt::Display for Trace {
@@ -47,13 +73,17 @@ impl fmt::Display for Trace {
             Trace::V1 { seed } => write!(f, "cds-trace v1 seed={seed:#x}"),
             Trace::V2 { threads, steps } => {
                 write!(f, "cds-trace v2 threads={threads} steps=")?;
-                for (i, s) in steps.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{s}")?;
-                }
-                Ok(())
+                write_list(f, steps)
+            }
+            Trace::V3 {
+                threads,
+                steps,
+                reads,
+            } => {
+                write!(f, "cds-trace v3 threads={threads} steps=")?;
+                write_list(f, steps)?;
+                f.write_str(" reads=")?;
+                write_list(f, reads)
             }
         }
     }
@@ -100,6 +130,16 @@ fn field<'a>(token: Option<&'a str>, key: &str) -> Result<&'a str, TraceParseErr
         .ok_or_else(|| TraceParseError::Malformed(format!("expected `{key}=...`")))
 }
 
+fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, TraceParseError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| t.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| TraceParseError::Malformed(format!("unparseable {what}")))
+}
+
 impl FromStr for Trace {
     type Err = TraceParseError;
 
@@ -121,26 +161,25 @@ impl FromStr for Trace {
                     .ok_or_else(|| TraceParseError::Malformed("unparseable seed".into()))?;
                 Ok(Trace::V1 { seed })
             }
-            2 => {
+            2 | 3 => {
                 let threads: usize = field(tokens.next(), "threads")?
                     .parse()
                     .map_err(|_| TraceParseError::Malformed("unparseable threads".into()))?;
-                let steps_str = field(tokens.next(), "steps")?;
-                let steps: Vec<usize> = if steps_str.is_empty() {
-                    Vec::new()
-                } else {
-                    steps_str
-                        .split(',')
-                        .map(|t| t.parse())
-                        .collect::<Result<_, _>>()
-                        .map_err(|_| TraceParseError::Malformed("unparseable steps".into()))?
-                };
+                let steps = parse_list(field(tokens.next(), "steps")?, "steps")?;
                 if steps.iter().any(|&s| s >= threads) {
                     return Err(TraceParseError::Malformed(
                         "step names a slot >= threads".into(),
                     ));
                 }
-                Ok(Trace::V2 { threads, steps })
+                if version == 2 {
+                    return Ok(Trace::V2 { threads, steps });
+                }
+                let reads = parse_list(field(tokens.next(), "reads")?, "reads")?;
+                Ok(Trace::V3 {
+                    threads,
+                    steps,
+                    reads,
+                })
             }
             v => Err(TraceParseError::UnsupportedVersion(v)),
         }
@@ -188,10 +227,32 @@ mod tests {
     }
 
     #[test]
+    fn v3_round_trips() {
+        let t = Trace::V3 {
+            threads: 2,
+            steps: vec![0, 1, 0],
+            reads: vec![1, 0],
+        };
+        let s = t.to_string();
+        assert_eq!(s, "cds-trace v3 threads=2 steps=0,1,0 reads=1,0");
+        assert_eq!(s.parse::<Trace>().unwrap(), t);
+    }
+
+    #[test]
+    fn v3_empty_reads_round_trips() {
+        let t = Trace::V3 {
+            threads: 2,
+            steps: vec![0, 1],
+            reads: vec![],
+        };
+        assert_eq!(t.to_string().parse::<Trace>().unwrap(), t);
+    }
+
+    #[test]
     fn unknown_version_is_rejected_not_misread() {
-        match "cds-trace v3 wormholes=yes".parse::<Trace>() {
-            Err(TraceParseError::UnsupportedVersion(3)) => {}
-            other => panic!("expected UnsupportedVersion(3), got {other:?}"),
+        match "cds-trace v4 wormholes=yes".parse::<Trace>() {
+            Err(TraceParseError::UnsupportedVersion(4)) => {}
+            other => panic!("expected UnsupportedVersion(4), got {other:?}"),
         }
     }
 

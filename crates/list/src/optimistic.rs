@@ -1,6 +1,6 @@
+use cds_atomic::Ordering;
 use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
-use std::sync::atomic::Ordering;
 
 use cds_core::ConcurrentSet;
 use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};

@@ -1,6 +1,6 @@
+use cds_atomic::{AtomicUsize, Ordering};
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cds_core::ConcurrentMap;
 use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
@@ -36,7 +36,7 @@ const HELP_BATCH: usize = 2;
 /// in the workspace integration tests, which cannot see a library's
 /// `cfg(test)` items — `stress` + `#[doc(hidden)]` is the nearest gate.
 #[cfg(feature = "stress")]
-static MIGRATION_GAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static MIGRATION_GAP: cds_atomic::raw::AtomicBool = cds_atomic::raw::AtomicBool::new(false);
 
 /// See [`MIGRATION_GAP`]. Returns the previous setting.
 #[cfg(feature = "stress")]

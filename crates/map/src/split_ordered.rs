@@ -1,6 +1,6 @@
+use cds_atomic::{AtomicUsize, Ordering};
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cds_core::ConcurrentMap;
 use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};

@@ -1,7 +1,7 @@
+use cds_atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cds_core::ConcurrentMap;
 use parking_lot::Mutex;

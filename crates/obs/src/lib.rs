@@ -319,7 +319,7 @@ impl fmt::Debug for Snapshot {
 #[cfg(feature = "telemetry")]
 mod imp {
     use super::{Event, Kind, Snapshot};
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use cds_atomic::raw::{AtomicU64, Ordering};
 
     /// Dedicated shards; threads beyond this share the overflow shard.
     const MAX_SHARDS: usize = 128;

@@ -1,7 +1,7 @@
+use cds_atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cds_core::ConcurrentQueue;
 use cds_sync::{Backoff, CachePadded};
@@ -63,8 +63,7 @@ unsafe impl<T: Send> Sync for BoundedQueue<T> {}
 /// in the workspace integration tests, which cannot see a library's
 /// `cfg(test)` items — `stress` + `#[doc(hidden)]` is the nearest gate.
 #[cfg(feature = "stress")]
-static CLAIM_WINDOW_YIELDS: std::sync::atomic::AtomicBool =
-    std::sync::atomic::AtomicBool::new(false);
+static CLAIM_WINDOW_YIELDS: cds_atomic::raw::AtomicBool = cds_atomic::raw::AtomicBool::new(false);
 
 /// See [`CLAIM_WINDOW_YIELDS`]. Returns the previous setting.
 #[cfg(feature = "stress")]
@@ -145,9 +144,9 @@ impl<T> BoundedQueue<T> {
     ///
     /// The two cursors are read with independent `Relaxed` loads, so the
     /// raw difference is *not* a consistent snapshot: a reader can observe
-    /// a fresh `enqueue_pos` next to a stale `dequeue_pos` (the cursor
-    /// CASes are `Relaxed`, so nothing orders the two loads against the
-    /// slot hand-off) and the difference can then exceed the ring size.
+    /// a fresh `enqueue_pos` next to a stale `dequeue_pos` (nothing orders
+    /// the two loads against the slot hand-off) and the difference can
+    /// then exceed the ring size.
     /// The result is therefore clamped to
     /// `0 ..= `[`capacity()`](Self::capacity); within that band it is
     /// best-effort only — both ends are reachable while operations are in
@@ -165,8 +164,15 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Attempts to enqueue without blocking; returns the value back if the
-    /// queue is full.
+    /// Attempts to enqueue; returns the value back if the queue is full.
+    ///
+    /// "Full" is a *corroborated* verdict: the slot's stamp lagging a lap
+    /// is not enough (that read can be stale, or the consumer freeing it
+    /// can be mid-flight), so the verdict is confirmed against the
+    /// consumer cursor with `SeqCst` before `Err` is returned. If the
+    /// stamp lags but the cursors show a consumer mid-consumption, the
+    /// call briefly waits for that consumer's stamp (it has at most two
+    /// instructions left) instead of reporting a spurious full.
     pub fn try_enqueue(&self, value: T) -> Result<(), T> {
         let backoff = Backoff::new();
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
@@ -176,11 +182,13 @@ impl<T> BoundedQueue<T> {
             let seq = slot.sequence.load(Ordering::Acquire);
             match seq as isize - pos as isize {
                 0 => {
-                    // Our turn: claim the position.
+                    // Our turn: claim the position. SeqCst so the claim
+                    // participates in the single total order that the
+                    // empty/full corroboration loads read from.
                     match self.enqueue_pos.compare_exchange_weak(
                         pos,
                         pos + 1,
-                        Ordering::Relaxed,
+                        Ordering::SeqCst,
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
@@ -197,13 +205,49 @@ impl<T> BoundedQueue<T> {
                         }
                     }
                 }
-                d if d < 0 => return Err(value), // a full lap behind: full
+                d if d < 0 => {
+                    // The stamp is a lap behind: the slot still holds the
+                    // value from position `pos - capacity` in our view.
+                    // Declaring the queue full from the stamp alone is not
+                    // linearizable — the lagging stamp may simply be a
+                    // stale read long after the consumer freed the slot
+                    // (the `weak_bounded_queue_window` exploration finds
+                    // the dequeue-side twin of that history). Corroborate:
+                    // if no consumer has claimed `pos - capacity`, a full
+                    // lap of claims is outstanding and `Err` linearizes at
+                    // this load.
+                    if self.dequeue_pos.load(Ordering::SeqCst) + self.buffer.len() == pos {
+                        return Err(value);
+                    }
+                    // A consumer claimed the slot but has not stamped it
+                    // free (or our stamp view is stale): wait for the
+                    // stamp. Pure re-check loop, so `Blocked` is sound and
+                    // collapses the stutter branching under exploration.
+                    // SeqCst for freshness; see the dequeue-side wait.
+                    let wait = Backoff::new();
+                    while (slot.sequence.load(Ordering::SeqCst) as isize) < pos as isize {
+                        wait.snooze_tagged(cds_core::stress::YieldTag::Blocked(
+                            &slot.sequence as *const _ as usize,
+                        ));
+                    }
+                }
                 _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
             }
         }
     }
 
-    /// Attempts to dequeue without blocking; returns `None` if empty.
+    /// Attempts to dequeue; returns `None` if the queue is empty.
+    ///
+    /// "Empty" is a *corroborated* verdict, symmetric to
+    /// [`try_enqueue`](Self::try_enqueue): a lagging slot stamp alone can
+    /// be a stale read taken long after the producer published (and
+    /// returned), and a `None` built on it is not linearizable — the
+    /// `weak_bounded_queue_window` exploration finds exactly that
+    /// history: a dequeuer that loses its claim CAS, moves to the next
+    /// slot, reads its stamp stale, and reports empty between two
+    /// completed enqueues. The verdict is confirmed against the producer
+    /// cursor with `SeqCst`; a stamp that lags while the cursors show a
+    /// producer mid-publication is waited out instead.
     pub fn try_dequeue(&self) -> Option<T> {
         let backoff = Backoff::new();
         let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
@@ -213,10 +257,11 @@ impl<T> BoundedQueue<T> {
             let seq = slot.sequence.load(Ordering::Acquire);
             match seq as isize - (pos + 1) as isize {
                 0 => {
+                    // SeqCst: see the enqueue-side claim.
                     match self.dequeue_pos.compare_exchange_weak(
                         pos,
                         pos + 1,
-                        Ordering::Relaxed,
+                        Ordering::SeqCst,
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
@@ -235,7 +280,31 @@ impl<T> BoundedQueue<T> {
                         }
                     }
                 }
-                d if d < 0 => return None, // slot not yet produced: empty
+                d if d < 0 => {
+                    // Slot not produced in our view. Corroborate before
+                    // declaring empty: if no producer has claimed `pos`,
+                    // every claim ever made is matched by a consumer claim
+                    // below `pos`, so `None` linearizes at this load.
+                    if self.enqueue_pos.load(Ordering::SeqCst) == pos {
+                        return None;
+                    }
+                    // A producer claimed `pos` but has not stamped it (or
+                    // our stamp view is stale): wait for the stamp rather
+                    // than report a spurious empty. Pure re-check loop, so
+                    // `Blocked` is sound for the exploration scheduler.
+                    // SeqCst (not Acquire) deliberately: the wait only
+                    // cares about *freshness*, the synchronizing Acquire
+                    // happens at the loop head once the stamp lands — and
+                    // under the weak-memory explorer a SeqCst load always
+                    // reads the newest stamp, so the wait does not fork a
+                    // read-from branch per re-check.
+                    let wait = Backoff::new();
+                    while (slot.sequence.load(Ordering::SeqCst) as isize) < (pos + 1) as isize {
+                        wait.snooze_tagged(cds_core::stress::YieldTag::Blocked(
+                            &slot.sequence as *const _ as usize,
+                        ));
+                    }
+                }
                 _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
             }
         }
@@ -314,7 +383,7 @@ impl<T> fmt::Debug for BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize as Counter;
+    use cds_atomic::AtomicUsize as Counter;
     use std::sync::Arc;
 
     #[test]
@@ -389,7 +458,7 @@ mod tests {
         // threads churning the cursors, an observer hammering len() used
         // to see enqueue_pos - dequeue_pos exceed capacity() whenever its
         // dequeue-cursor load was stale. The clamp bounds every answer.
-        use std::sync::atomic::AtomicBool;
+        use cds_atomic::AtomicBool;
         let q = Arc::new(BoundedQueue::with_capacity(4));
         let stop = Arc::new(AtomicBool::new(false));
         let workers: Vec<_> = (0..4)

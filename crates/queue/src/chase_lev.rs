@@ -1,7 +1,7 @@
+use cds_atomic::{fence, AtomicIsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicIsize, Ordering};
 use std::sync::Arc;
 
 use cds_reclaim::epoch::{Atomic, Guard, Owned};
@@ -494,7 +494,7 @@ mod tests {
 
     #[test]
     fn drop_frees_remaining_elements() {
-        use std::sync::atomic::AtomicUsize;
+        use cds_atomic::AtomicUsize;
         struct D(Arc<AtomicUsize>);
         impl Drop for D {
             fn drop(&mut self) {

@@ -1,7 +1,7 @@
+use cds_atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cds_sync::CachePadded;
@@ -203,7 +203,7 @@ impl<T> fmt::Debug for SpscConsumer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize as Counter;
+    use cds_atomic::AtomicUsize as Counter;
 
     #[test]
     fn fills_and_drains() {

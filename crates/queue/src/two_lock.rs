@@ -1,6 +1,6 @@
+use cds_atomic::{AtomicPtr, Ordering};
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
 
 use cds_core::ConcurrentQueue;
 use parking_lot::Mutex;
@@ -131,7 +131,7 @@ impl<T> fmt::Debug for TwoLockQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use cds_atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]

@@ -8,10 +8,10 @@
 //! scope. Which guard actually makes the dereference sound is the
 //! [`Reclaimer`](crate::Reclaimer) backend's contract.
 
+use cds_atomic::{AtomicUsize, Ordering};
 use std::fmt;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Returns the bitmask of tag bits available for `T` (its alignment − 1).
 #[inline]
@@ -45,7 +45,7 @@ fn decompose<T>(data: usize) -> (*mut T, usize) {
 ///
 /// ```
 /// use cds_reclaim::epoch::{self, Atomic};
-/// use std::sync::atomic::Ordering;
+/// use cds_atomic::Ordering;
 ///
 /// let a = Atomic::new(42);
 /// let guard = epoch::pin();
@@ -206,9 +206,20 @@ impl<T> Owned<T> {
     }
 
     /// Publishes the pointer into the guard-protected world.
+    ///
+    /// Under weak-memory exploration this declares the pointee a
+    /// *published region*: the release operation that makes the pointer
+    /// reachable must synchronize with readers before they dereference
+    /// it, or the explorer reports a region race (see
+    /// `cds_atomic::stress::publish_region`).
     pub fn into_shared<'g, G>(self, _guard: &'g G) -> Shared<'g, T> {
         let data = self.data;
         std::mem::forget(self);
+        #[cfg(feature = "stress")]
+        cds_atomic::stress::publish_region(
+            decompose::<T>(data).0 as usize,
+            std::mem::size_of::<T>(),
+        );
         Shared::from_data(data)
     }
 
@@ -334,6 +345,8 @@ impl<'g, T> Shared<'g, T> {
     pub unsafe fn deref(&self) -> &'g T {
         let (raw, _) = decompose::<T>(self.data);
         debug_assert!(!raw.is_null(), "deref of null Shared");
+        #[cfg(feature = "stress")]
+        cds_atomic::stress::check_region(raw as usize, std::mem::size_of::<T>());
         // SAFETY: per the caller contract above.
         unsafe { &*raw }
     }
@@ -345,6 +358,10 @@ impl<'g, T> Shared<'g, T> {
     /// Same contract as [`deref`](Shared::deref) for the non-null case.
     pub unsafe fn as_ref(&self) -> Option<&'g T> {
         let (raw, _) = decompose::<T>(self.data);
+        #[cfg(feature = "stress")]
+        if !raw.is_null() {
+            cds_atomic::stress::check_region(raw as usize, std::mem::size_of::<T>());
+        }
         // SAFETY: per the caller contract.
         unsafe { raw.as_ref() }
     }

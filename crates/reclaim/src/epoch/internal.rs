@@ -1,9 +1,9 @@
 //! Internal machinery of the epoch-based collector: the global state shared
 //! by all participants and the per-thread participant record.
 
+use cds_atomic::{fence, AtomicUsize, Ordering};
 use std::cell::{Cell, UnsafeCell};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// How many deferred items a participant accumulates locally before it

@@ -26,7 +26,7 @@
 //!
 //! ```
 //! use cds_reclaim::epoch::{self, Atomic, Owned};
-//! use std::sync::atomic::Ordering;
+//! use cds_atomic::Ordering;
 //!
 //! let head = Atomic::new("old");
 //! let guard = epoch::pin();
@@ -231,7 +231,7 @@ pub fn pin() -> Guard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use cds_atomic::{AtomicUsize, Ordering};
 
     /// A payload that counts drops, for leak/double-free detection.
     struct DropCounter(Arc<AtomicUsize>);

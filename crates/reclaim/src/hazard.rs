@@ -12,7 +12,7 @@
 //!
 //! ```
 //! use cds_reclaim::hazard::{Domain, HazardPointer};
-//! use std::sync::atomic::{AtomicPtr, Ordering};
+//! use cds_atomic::{AtomicPtr, Ordering};
 //!
 //! let domain = Domain::new();
 //! let shared = AtomicPtr::new(Box::into_raw(Box::new(42)));
@@ -28,10 +28,10 @@
 //! unsafe { domain.retire(raw) };
 //! ```
 
+use cds_atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::collections::HashSet;
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// How many retired nodes accumulate before a scan is attempted.
@@ -437,7 +437,7 @@ impl fmt::Debug for HazardPointer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize as Counter;
+    use cds_atomic::AtomicUsize as Counter;
     use std::sync::Arc;
 
     struct DropCounter(Arc<Counter>);

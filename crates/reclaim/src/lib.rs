@@ -38,7 +38,7 @@
 //!
 //! ```
 //! use cds_reclaim::epoch::{self, Atomic, Owned};
-//! use std::sync::atomic::Ordering;
+//! use cds_atomic::Ordering;
 //!
 //! let slot: Atomic<i32> = Atomic::new(1);
 //! let guard = epoch::pin();

@@ -66,9 +66,9 @@
 //! to operations that begin afterwards") carries over unchanged because
 //! operations reach buckets only through the root pointer.
 
+use cds_atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::thread::ThreadId;
 
@@ -589,8 +589,8 @@ impl ReclaimGuard for DebugGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cds_atomic::AtomicUsize as Counter;
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::AtomicUsize as Counter;
     use std::sync::Arc;
 
     struct DropCounter(Arc<Counter>);

@@ -1,7 +1,7 @@
+use cds_atomic::{AtomicBool, Ordering};
 use std::cmp::Ordering as CmpOrdering;
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use cds_core::{Bound, ConcurrentSet};
 use cds_reclaim::epoch::{self, Atomic, Guard, Owned, Shared};

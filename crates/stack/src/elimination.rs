@@ -1,7 +1,7 @@
+use cds_atomic::{AtomicPtr, AtomicU8, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 
 use cds_core::ConcurrentStack;
 use cds_sync::CachePadded;

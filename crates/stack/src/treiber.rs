@@ -1,13 +1,46 @@
+use cds_atomic::Ordering;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem::ManuallyDrop;
 use std::ptr;
-use std::sync::atomic::Ordering;
 
 use cds_core::ConcurrentStack;
 use cds_reclaim::epoch::{Atomic, Guard, Owned, Shared};
 use cds_reclaim::{Ebr, ReclaimGuard, Reclaimer};
 use cds_sync::Backoff;
+
+/// Stress-only planted ordering bug: demotes the publishing CAS in
+/// `push_node` from `Release` to `Relaxed`. Under weak-memory exploration
+/// a popper can then observe the new head without synchronizing with the
+/// pusher, read the node's `next` field as its stale pre-link value
+/// (null), and truncate the stack — the canonical "relaxed publish"
+/// mistake, kept re-armable so the weak-memory explorer's known-answer
+/// test proves it would be caught. Reads of the toggle go through `raw`
+/// so the flag itself is never a modeled location.
+///
+/// Ideally this would be `#[cfg(test)]`, but the exploration suite lives
+/// in the workspace integration tests, which cannot see a library's
+/// `cfg(test)` items — `stress` + `#[doc(hidden)]` is the nearest gate.
+#[cfg(feature = "stress")]
+static RELAXED_PUBLISH: cds_atomic::raw::AtomicBool = cds_atomic::raw::AtomicBool::new(false);
+
+/// See [`RELAXED_PUBLISH`]. Returns the previous setting.
+#[cfg(feature = "stress")]
+#[doc(hidden)]
+pub fn set_relaxed_publish(on: bool) -> bool {
+    RELAXED_PUBLISH.swap(on, cds_atomic::raw::Ordering::SeqCst)
+}
+
+/// The ordering that publishes a newly linked node: `Release`, unless the
+/// planted demotion is armed.
+#[inline]
+fn publish_ordering() -> Ordering {
+    #[cfg(feature = "stress")]
+    if RELAXED_PUBLISH.load(cds_atomic::raw::Ordering::Relaxed) {
+        return Ordering::Relaxed;
+    }
+    Ordering::Release
+}
 
 struct Node<T> {
     /// Taken out by the winning popper; dropped by `Drop for TreiberStack`
@@ -95,10 +128,12 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
             let head = self.head.load(Ordering::Relaxed, guard);
             // SAFETY: `node` is ours until the CAS below publishes it.
             unsafe { node.deref() }.next.store(head, Ordering::Relaxed);
-            // Release: publish the node's initialization with the link.
+            // Release: publish the node's initialization with the link
+            // (`publish_ordering` is `Release` unless the planted
+            // demotion is armed under stress).
             let linked = self
                 .head
-                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, guard)
+                .compare_exchange(head, node, publish_ordering(), Ordering::Relaxed, guard)
                 .is_ok();
             cds_obs::cas_outcome(linked);
             if linked {
@@ -285,8 +320,8 @@ impl<T: Send + 'static, R: Reclaimer> Extend<T> for TreiberStack<T, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cds_atomic::{AtomicUsize, Ordering as AOrd};
     use cds_reclaim::{DebugReclaim, Hazard, Leak};
-    use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
     use std::sync::Arc;
 
     #[test]

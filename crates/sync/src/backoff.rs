@@ -26,7 +26,7 @@ use std::fmt;
 ///
 /// ```
 /// use cds_sync::Backoff;
-/// use std::sync::atomic::{AtomicBool, Ordering};
+/// use cds_atomic::{AtomicBool, Ordering};
 ///
 /// let flag = AtomicBool::new(false);
 /// let backoff = Backoff::new();

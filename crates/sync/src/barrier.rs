@@ -1,7 +1,7 @@
 //! Reusable barriers (Herlihy & Shavit ch. 17).
 
+use cds_atomic::{AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::Backoff;
 

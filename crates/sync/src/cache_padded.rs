@@ -17,7 +17,7 @@ use std::ops::{Deref, DerefMut};
 ///
 /// ```
 /// use cds_sync::CachePadded;
-/// use std::sync::atomic::AtomicUsize;
+/// use cds_atomic::AtomicUsize;
 ///
 /// struct Counters {
 ///     hits: CachePadded<AtomicUsize>,

@@ -1,6 +1,6 @@
+use cds_atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 use crate::{Backoff, RawLock};
 
@@ -145,7 +145,7 @@ impl fmt::Debug for ClhLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use cds_atomic::AtomicUsize;
     use std::sync::Arc;
 
     #[test]

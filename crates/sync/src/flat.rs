@@ -8,9 +8,9 @@
 //! *batch* instead of once per operation — often beating fine-grained
 //! locking for inherently sequential structures (stacks, queues).
 
+use cds_atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 
 use crate::{Backoff, CachePadded};
 

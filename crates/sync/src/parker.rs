@@ -19,8 +19,8 @@
 //! determinism rule), so the PCT and exploration schedulers can
 //! interleave park/unpark decisions deterministically.
 
+use cds_atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -184,7 +184,7 @@ impl fmt::Debug for Parker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicBool;
+    use cds_atomic::AtomicBool;
     use std::sync::Arc;
     use std::time::Duration;
 

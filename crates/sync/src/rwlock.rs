@@ -1,7 +1,7 @@
+use cds_atomic::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::Backoff;
 

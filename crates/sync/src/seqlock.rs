@@ -1,6 +1,6 @@
+use cds_atomic::{fence, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
 use std::fmt;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
 
 use crate::Backoff;
 

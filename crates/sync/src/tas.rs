@@ -1,5 +1,5 @@
+use cds_atomic::{AtomicBool, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::RawLock;
 

@@ -1,5 +1,5 @@
+use cds_atomic::{AtomicUsize, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::{CachePadded, RawLock};
 

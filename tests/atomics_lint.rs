@@ -1,0 +1,120 @@
+//! Repo lint: every crate performs its atomic operations through the
+//! `cds-atomic` facade, never `std::sync::atomic` / `core::sync::atomic`
+//! directly.
+//!
+//! Why this is load-bearing: the weak-memory explorer can only model (and
+//! the region race detector can only police) traffic that goes through
+//! the instrumented wrappers. A direct `std` atomic silently opts its
+//! location out of exploration — schedules still enumerate, but the
+//! ordering bugs the sweep exists to catch become invisible at exactly
+//! that location. Infrastructure that *must* stay un-modeled (the stress
+//! scheduler's own state, telemetry shards, test-harness bookkeeping)
+//! uses `cds_atomic::raw`, which is a deliberate, greppable, self-
+//! documenting exception — and is why the lint bans the std *path*
+//! rather than atomics in general.
+//!
+//! The allowlist lives in `tests/atomics_allowlist.txt` (one
+//! repo-relative path per line, `#` comments). Entries must exist and
+//! must still contain a direct import, so the list cannot rot.
+
+use std::path::{Path, PathBuf};
+
+/// Files allowed to name `std::sync::atomic` directly.
+const ALLOWLIST: &str = include_str!("atomics_allowlist.txt");
+
+fn allowlisted() -> Vec<String> {
+    ALLOWLIST
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("crates dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            // Only library/binary sources are linted: `crates/*/src/**`.
+            // Build outputs never appear there.
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// True if `line` reaches for a std/core atomic path outside a comment.
+/// Doc comments and `//` comments may mention the path (e.g. to explain
+/// this very rule); code may not.
+fn names_std_atomic(line: &str) -> bool {
+    let code = line.split("//").next().unwrap_or("");
+    code.contains("std::sync::atomic") || code.contains("core::sync::atomic")
+}
+
+#[test]
+fn no_direct_std_atomics_outside_the_facade() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let allow = allowlisted();
+    let mut sources = Vec::new();
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ readable") {
+        let src = entry.expect("dir entry").path().join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(
+        sources.len() > 30,
+        "lint walked suspiciously few files ({}); wrong directory?",
+        sources.len()
+    );
+
+    let mut violations = Vec::new();
+    let mut used_allow = vec![false; allow.len()];
+    for path in &sources {
+        let rel = path
+            .strip_prefix(root)
+            .expect("source under repo root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let allowed = allow.iter().position(|a| *a == rel);
+        let content = std::fs::read_to_string(path).expect("source readable");
+        let mut hits = Vec::new();
+        for (i, line) in content.lines().enumerate() {
+            if names_std_atomic(line) {
+                hits.push(i + 1);
+            }
+        }
+        match allowed {
+            Some(idx) if !hits.is_empty() => used_allow[idx] = true,
+            Some(_) => violations.push(format!(
+                "{rel}: allowlisted but has no direct std atomic import — remove it from \
+                 tests/atomics_allowlist.txt"
+            )),
+            None => {
+                for line in hits {
+                    violations.push(format!(
+                        "{rel}:{line}: direct std/core::sync::atomic use — go through \
+                         `cds_atomic` (instrumented) or `cds_atomic::raw` (deliberately \
+                         un-modeled infrastructure), or add the file to \
+                         tests/atomics_allowlist.txt with a comment saying why"
+                    ));
+                }
+            }
+        }
+    }
+    for (idx, used) in used_allow.iter().enumerate() {
+        if !used {
+            violations.push(format!(
+                "tests/atomics_allowlist.txt names `{}`, which does not exist or was never \
+                 matched — stale entry",
+                allow[idx]
+            ));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "atomics lint failed:\n  {}",
+        violations.join("\n  ")
+    );
+}

@@ -18,7 +18,7 @@
 //! The counters are global, so every test takes the [`serial`] lock and
 //! measures through baseline/delta snapshot pairs.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use cds_atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard, OnceLock};
 
 use cds_chan::{bounded, unbounded, Select};

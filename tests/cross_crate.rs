@@ -1,7 +1,7 @@
 //! Integration scenarios spanning multiple crates: structures composed
 //! into realistic multi-threaded pipelines, with end-to-end invariants.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use cds_atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cds_core::{ConcurrentCounter, ConcurrentMap, ConcurrentQueue, ConcurrentSet, ConcurrentStack};

@@ -17,7 +17,7 @@
 //! The counters are global, so every test takes the [`serial`] lock and
 //! measures through baseline/delta snapshot pairs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cds_atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use cds_core::stress as sched;

@@ -25,9 +25,9 @@
 //!   *deterministically* (no seed anywhere), ddmin-shrink the failing
 //!   window, and replay its schedule byte-identically.
 
+use cds_atomic::{AtomicBool, Ordering};
 use std::collections::VecDeque;
 use std::hash::BuildHasher;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use cds_core::{ConcurrentQueue, ConcurrentStack};
 use cds_lincheck::explore::{
@@ -35,8 +35,8 @@ use cds_lincheck::explore::{
 };
 use cds_lincheck::specs::{
     ChanOp, ChanRes, ChannelSpec, DequeOp, DequeRes, DequeSpec, EventcountOp, EventcountRes,
-    EventcountSpec, MapOp, MapRes, MapSpec, QueueOp, QueueRes, QueueSpec, StackOp, StackRes,
-    StackSpec,
+    EventcountSpec, MapOp, MapRes, MapSpec, QueueOp, QueueRes, QueueSpec, SetOp, SetSpec, StackOp,
+    StackRes, StackSpec,
 };
 use cds_lincheck::stress::{stress, StressOptions};
 use cds_lincheck::trace::{Trace, TRACE_FORMAT_VERSION};
@@ -48,10 +48,25 @@ use cds_lincheck::{check_linearizable, Spec};
 /// recorded under.
 const BASELINE: &str = include_str!("explore_baseline.txt");
 
-fn baseline(key: &str) -> Option<u64> {
+/// Result of looking a window key up in a baseline file.
+enum Pin {
+    /// The baseline's version matches; the count is pinned to this value.
+    Pinned(u64),
+    /// The counts are unpinned; the string is the actionable diagnostic
+    /// explaining why and how to re-pin them.
+    Unpinned(String),
+}
+
+/// Parses `content` (the `key=value` baseline format) and looks up `key`.
+///
+/// Counts only pin when the file's `version` stamp equals the running
+/// [`TRACE_FORMAT_VERSION`]: a version bump deliberately unpins every
+/// window until the baseline is re-recorded, and the diagnostic names the
+/// exact command that does so.
+fn lookup(content: &str, key: &str) -> Pin {
     let mut version: Option<u64> = None;
     let mut value: Option<u64> = None;
-    for line in BASELINE.lines() {
+    for line in content.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -65,11 +80,63 @@ fn baseline(key: &str) -> Option<u64> {
         }
     }
     if version != Some(u64::from(TRACE_FORMAT_VERSION)) {
-        // The trace format moved on; counts are unpinned until the
-        // baseline is re-recorded for the new version.
-        return None;
+        return Pin::Unpinned(format!(
+            "tests/explore_baseline.txt is stamped version={} but this build's \
+             TRACE_FORMAT_VERSION={TRACE_FORMAT_VERSION}; `{key}` (and every other window) is \
+             unpinned until the baseline is re-recorded. Run \
+             `CDS_EXPLORE_BLESS=1 cargo test --features stress --test explore` to regenerate \
+             it deterministically, review the diff, and commit it.",
+            version.map_or("<missing>".into(), |v| v.to_string()),
+        ));
     }
-    Some(value.unwrap_or_else(|| panic!("tests/explore_baseline.txt has no `{key}` entry")))
+    Pin::Pinned(value.unwrap_or_else(|| {
+        panic!(
+            "tests/explore_baseline.txt has no `{key}` entry; run \
+             `CDS_EXPLORE_BLESS=1 cargo test --features stress --test explore` to add it"
+        )
+    }))
+}
+
+fn baseline(key: &str) -> Pin {
+    lookup(BASELINE, key)
+}
+
+/// True when this run should *record* counts instead of asserting them.
+fn blessing() -> bool {
+    std::env::var_os("CDS_EXPLORE_BLESS").is_some_and(|v| v == "1")
+}
+
+/// Rewrites `key=schedules` (and the `version` stamp) into
+/// `tests/explore_baseline.txt`, preserving comments and line order;
+/// unknown keys are appended. Each window's count is deterministic and
+/// each bless touches only its own key, so the regenerated file is
+/// identical no matter how the test harness orders or parallelizes the
+/// windows.
+fn bless(key: &str, schedules: u64) {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/explore_baseline.txt");
+    let content = std::fs::read_to_string(path).expect("baseline file readable for blessing");
+    let mut out = String::new();
+    let mut wrote_key = false;
+    for line in content.lines() {
+        let trimmed = line.trim();
+        let k = trimmed.split_once('=').map(|(k, _)| k.trim());
+        if k == Some("version") {
+            out.push_str(&format!("version={TRACE_FORMAT_VERSION}\n"));
+        } else if k == Some(key) {
+            out.push_str(&format!("{key}={schedules}\n"));
+            wrote_key = true;
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !wrote_key {
+        out.push_str(&format!("{key}={schedules}\n"));
+    }
+    std::fs::write(path, out).expect("baseline file writable for blessing");
+    eprintln!("explore_baseline: blessed {key}={schedules} (version {TRACE_FORMAT_VERSION})");
 }
 
 /// Asserts an exhaustive window's coverage against the pinned baseline.
@@ -111,8 +178,12 @@ fn check_pin(key: &str, report: &ExploreReport) {
         report.schedules >= 2,
         "`{key}` explored too little: {report:?}"
     );
+    if blessing() {
+        bless(key, report.schedules);
+        return;
+    }
     match baseline(key) {
-        Some(expected) => {
+        Pin::Pinned(expected) => {
             if report.schedules * 10 < expected * 9 {
                 panic!(
                     "`{key}` explored-schedule count dropped >10% ({} -> {}): coverage was \
@@ -128,18 +199,52 @@ fn check_pin(key: &str, report: &ExploreReport) {
                  tests/explore_baseline.txt if the change is intentional. {report:?}"
             );
         }
-        None => {
+        Pin::Unpinned(why) => {
             eprintln!(
-                "explore_baseline: version != {TRACE_FORMAT_VERSION}, `{key}` unpinned; \
-                 observed schedules={} redundant={} stuck={} executions={}",
+                "explore_baseline: `{key}` unpinned ({why}); observed schedules={} \
+                 redundant={} stuck={} executions={}",
                 report.schedules, report.redundant, report.stuck, report.executions
             );
         }
     }
 }
 
+#[test]
+fn version_mismatched_baseline_gives_actionable_diagnostic() {
+    // A stale baseline must not silently pin or silently pass: the lookup
+    // reports *why* the counts are unpinned and the exact bless command.
+    let stale = format!("version={}\ntreiber_stack=15\n", TRACE_FORMAT_VERSION - 1);
+    match lookup(&stale, "treiber_stack") {
+        Pin::Unpinned(msg) => {
+            assert!(
+                msg.contains(&format!("version={}", TRACE_FORMAT_VERSION - 1)),
+                "{msg}"
+            );
+            assert!(
+                msg.contains(&format!("TRACE_FORMAT_VERSION={TRACE_FORMAT_VERSION}")),
+                "{msg}"
+            );
+            assert!(msg.contains("CDS_EXPLORE_BLESS=1"), "{msg}");
+        }
+        Pin::Pinned(v) => panic!("stale baseline pinned a count ({v}) instead of diagnosing"),
+    }
+    // A baseline with no version stamp at all is equally stale.
+    match lookup("treiber_stack=15\n", "treiber_stack") {
+        Pin::Unpinned(msg) => assert!(msg.contains("<missing>"), "{msg}"),
+        Pin::Pinned(v) => panic!("unversioned baseline pinned a count ({v})"),
+    }
+    // The checked-in baseline matches the running version.
+    match lookup(BASELINE, "treiber_stack") {
+        Pin::Pinned(_) => {}
+        Pin::Unpinned(why) => panic!("checked-in baseline is stale: {why}"),
+    }
+}
+
 fn opts() -> ExploreOptions {
     ExploreOptions {
+        weak_memory: false,
+        weak_window: 4,
+        detect_races: false,
         max_steps: 2_000,
         max_executions: 200_000,
         on_stuck: OnStuck::Fail,
@@ -317,11 +422,93 @@ fn explore_bounded_queue_window_and_cap1_regression() {
         Trace::V2 { steps, .. } => steps.clone(),
         other => panic!("expected a v2 trace, got {other:?}"),
     };
-    let replayed = replay_schedule(&ops, &steps, &opts(), setup, exec_try_queue)
+    let replayed = replay_schedule(&ops, &steps, &[], &opts(), setup, exec_try_queue)
         .expect("replay of the failing schedule diverged");
     assert_eq!(replayed, history, "replay was not byte-identical");
     let prev = cds_queue::set_claim_window_yields(false);
     assert!(prev);
+}
+
+#[test]
+fn explore_two_lock_queue_window() {
+    // Lock-based structure: the window explores every interleaving of the
+    // head/tail lock acquisitions (through the instrumented parking_lot
+    // shim), proving the two-lock protocol linearizable, not just
+    // deadlock-free.
+    let ops = [
+        vec![QueueOp::Enqueue(1), QueueOp::Dequeue],
+        vec![QueueOp::Enqueue(2)],
+    ];
+    let report = explore(
+        QueueSpec::<u64>::default(),
+        &opts(),
+        &ops,
+        cds_queue::TwoLockQueue::<u64>::new,
+        |q, op| match op {
+            QueueOp::Enqueue(v) => {
+                q.enqueue(*v);
+                QueueRes::Enqueued
+            }
+            QueueOp::Dequeue => QueueRes::Dequeued(q.dequeue()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("two-lock queue window not linearizable: {f:?}"));
+    assert_pinned("two_lock_queue", &report);
+}
+
+#[test]
+fn explore_elimination_stack_window() {
+    // Forced-collision geometry: a single exchanger slot makes
+    // `random_slot` deterministic (index mod 1), so every elimination
+    // attempt meets in slot 0 and the exchange protocol itself — offer
+    // CAS, claim CAS, retract CAS, TAKEN handshake — is inside the
+    // explored surface. A tiny spin budget keeps the window bounded while
+    // still letting a popper land mid-window.
+    use cds_core::ConcurrentStack;
+    let ops = [
+        vec![StackOp::Push(1), StackOp::Pop],
+        vec![StackOp::Push(2), StackOp::Pop],
+    ];
+    let report = explore(
+        StackSpec::<u64>::default(),
+        &opts(),
+        &ops,
+        || cds_stack::EliminationBackoffStack::<u64>::with_params(1, 2),
+        |s, op| match op {
+            StackOp::Push(v) => {
+                s.push(*v);
+                StackRes::Pushed
+            }
+            StackOp::Pop => StackRes::Popped(s.pop()),
+        },
+    )
+    .unwrap_or_else(|f| panic!("elimination stack window not linearizable: {f:?}"));
+    assert_pinned("elimination_stack", &report);
+}
+
+#[test]
+fn explore_lock_free_bst_window() {
+    // Ellen et al. external BST: insert/remove flag-and-help protocol
+    // under a window that overlaps an insert-then-remove of a key with a
+    // membership query racing both.
+    use cds_core::ConcurrentSet;
+    let ops = [
+        vec![SetOp::Insert(1), SetOp::Remove(1)],
+        vec![SetOp::Contains(1)],
+    ];
+    let report = explore(
+        SetSpec::<u64>::default(),
+        &opts(),
+        &ops,
+        cds_tree::LockFreeBst::<u64>::new,
+        |t, op| match op {
+            SetOp::Insert(v) => t.insert(*v),
+            SetOp::Remove(v) => t.remove(v),
+            SetOp::Contains(v) => t.contains(v),
+        },
+    )
+    .unwrap_or_else(|f| panic!("lock-free BST window not linearizable: {f:?}"));
+    assert_pinned("lock_free_bst", &report);
 }
 
 #[test]
@@ -366,6 +553,257 @@ fn explore_chase_lev_deque_window() {
     )
     .unwrap_or_else(|f| panic!("chase-lev window not linearizable: {f:?}"));
     assert_pinned("chase_lev", &report);
+}
+
+// ---------------------------------------------------------------------
+// Weak-memory exploration: the DFS additionally branches on which store
+// each Relaxed/Acquire load of an instrumented atomic observes, so
+// ordering bugs become enumerable behaviors. One test per structure so
+// the demotion toggles can never perturb a concurrently running window.
+// All weak windows run on the Leak backend: reclamation machinery is
+// orthogonal to the ordering contract under test, and its atomics would
+// only inflate the explored surface.
+// ---------------------------------------------------------------------
+
+fn weak_opts(detect_races: bool) -> ExploreOptions {
+    ExploreOptions {
+        weak_memory: true,
+        weak_window: 4,
+        detect_races,
+        max_steps: 2_000,
+        // Weak windows branch on reads as well as schedules; give the
+        // planted-bug searches room (correct windows exhaust far below).
+        max_executions: 500_000,
+        // A stale read can make a retry loop spin past the step budget
+        // (C11 imposes no read-freshness fairness); stuck executions are
+        // expected noise around a plant, and for clean windows the count
+        // pin still covers the complete ones.
+        on_stuck: OnStuck::Continue,
+    }
+}
+
+fn exec_stack<S: cds_core::ConcurrentStack<u64>>(s: &S, op: &StackOp<u64>) -> StackRes<u64> {
+    match op {
+        StackOp::Push(v) => {
+            s.push(*v);
+            StackRes::Pushed
+        }
+        StackOp::Pop => StackRes::Popped(s.pop()),
+    }
+}
+
+#[test]
+fn weak_treiber_window_and_relaxed_publish_plant() {
+    let setup = || cds_stack::TreiberStack::<u64, cds_reclaim::Leak>::with_reclaimer();
+
+    // Correctly annotated (plant off), races on: every reads-from choice
+    // of every schedule linearizes and no published region is touched
+    // without synchronization. This is the ordering contract of the
+    // Release publish CAS, checked exhaustively.
+    let ops = [vec![StackOp::Push(1)], vec![StackOp::Pop]];
+    let report = explore(
+        StackSpec::<u64>::default(),
+        &weak_opts(true),
+        &ops,
+        setup,
+        exec_stack,
+    )
+    .unwrap_or_else(|f| panic!("weak treiber window not linearizable: {f:?}"));
+    assert_pinned("treiber_weak", &report);
+
+    // Plant armed: the push's publish CAS is demoted to Relaxed. A popper
+    // may now observe the new head without synchronizing with the pusher
+    // and read the node's `next` as its stale pre-link value (null),
+    // truncating the stack. Races off so the stale-value demo reaches the
+    // linearizability checker instead of the region detector.
+    let prev = cds_stack::set_relaxed_publish(true);
+    assert!(!prev, "relaxed-publish toggle unexpectedly already set");
+    let ops = [
+        vec![StackOp::Push(1), StackOp::Push(2)],
+        vec![StackOp::Pop, StackOp::Pop],
+    ];
+    let result = explore(
+        StackSpec::<u64>::default(),
+        &weak_opts(false),
+        &ops,
+        setup,
+        exec_stack,
+    );
+    let err = result.expect_err("weak explore missed the planted relaxed publish");
+    let (trace, history, minimized) = match *err {
+        ExploreError::NonLinearizable {
+            trace,
+            history,
+            minimized,
+        } => (trace, history, minimized),
+        other => panic!("expected NonLinearizable, got {other:?}"),
+    };
+    // Seedless and deterministic; ddmin shrank the history.
+    assert!(!minimized.is_empty());
+    assert!(minimized.len() <= history.len());
+    assert!(!check_linearizable(StackSpec::<u64>::default(), &minimized));
+    // The trace is a v3 line (schedule + read-from choices) that
+    // round-trips through its string form.
+    let line = trace.to_string();
+    assert!(
+        line.starts_with("cds-trace v3 "),
+        "unexpected trace: {line}"
+    );
+    assert_eq!(line.parse::<Trace>().unwrap(), trace);
+    let (steps, reads) = match &trace {
+        Trace::V3 { steps, reads, .. } => (steps.clone(), reads.clone()),
+        other => panic!("expected a v3 trace, got {other:?}"),
+    };
+    assert!(
+        !reads.is_empty(),
+        "the stale-read counterexample must involve a non-latest read-from choice"
+    );
+    // Replaying schedule + reads reproduces the identical history.
+    let replayed = replay_schedule(&ops, &steps, &reads, &weak_opts(false), setup, exec_stack)
+        .expect("replay of the failing weak execution diverged");
+    assert_eq!(replayed, history, "weak replay was not byte-identical");
+    let prev = cds_stack::set_relaxed_publish(false);
+    assert!(prev);
+}
+
+fn exec_queue<Q: cds_core::ConcurrentQueue<u64>>(q: &Q, op: &QueueOp<u64>) -> QueueRes<u64> {
+    match op {
+        QueueOp::Enqueue(v) => {
+            q.enqueue(*v);
+            QueueRes::Enqueued
+        }
+        QueueOp::Dequeue => QueueRes::Dequeued(q.dequeue()),
+    }
+}
+
+#[test]
+fn weak_ms_queue_window_and_relaxed_link_plant() {
+    let setup = || cds_queue::MsQueue::<u64, cds_reclaim::Leak>::with_reclaimer();
+
+    // Correctly annotated (plant off), races on: the Release link CAS
+    // publishes the node, so every dequeuer that observes it has a
+    // happens-before edge to the payload's initialization.
+    let ops = [vec![QueueOp::Enqueue(1)], vec![QueueOp::Dequeue]];
+    let report = explore(
+        QueueSpec::<u64>::default(),
+        &weak_opts(true),
+        &ops,
+        setup,
+        exec_queue,
+    )
+    .unwrap_or_else(|f| panic!("weak ms queue window not linearizable: {f:?}"));
+    assert_pinned("ms_queue_weak", &report);
+
+    // Plant armed: the link CAS is demoted to Relaxed. The dequeuer can
+    // then observe the node through `head.next` and dereference a payload
+    // it never synchronized with — a stale read through a *plain* field,
+    // invisible to the atomics model, which is exactly what the
+    // published-region race detector exists to catch.
+    let prev = cds_queue::set_relaxed_link(true);
+    assert!(!prev, "relaxed-link toggle unexpectedly already set");
+    let ops = [vec![QueueOp::Enqueue(1)], vec![QueueOp::Dequeue]];
+    let result = explore(
+        QueueSpec::<u64>::default(),
+        &weak_opts(true),
+        &ops,
+        setup,
+        exec_queue,
+    );
+    let err = result.expect_err("weak explore missed the planted relaxed link");
+    let (trace, message) = match *err {
+        ExploreError::Panicked { trace, message } => (trace, message),
+        other => panic!("expected the region-race panic, got {other:?}"),
+    };
+    assert!(
+        message.contains("weak-memory race"),
+        "unexpected panic message: {message}"
+    );
+    let line = trace.to_string();
+    assert!(
+        line.starts_with("cds-trace v3 "),
+        "unexpected trace: {line}"
+    );
+    assert_eq!(line.parse::<Trace>().unwrap(), trace);
+    // The panic-class ddmin: both operations are load-bearing (no
+    // enqueue, nothing unsynchronized to read; no dequeue, no deref), so
+    // the minimized window is the window itself — and it still carries a
+    // replayable trace and the same racy execution.
+    let (min_ops, min_trace, min_message) = cds_lincheck::explore::shrink_panicking_window::<
+        _,
+        _,
+        QueueRes<u64>,
+        _,
+        _,
+    >(&weak_opts(true), &ops, setup, exec_queue)
+    .expect("shrink lost the panicking window");
+    assert_eq!(min_ops.iter().map(Vec::len).sum::<usize>(), 2);
+    assert!(min_message.contains("weak-memory race"));
+    // Replaying the failing execution reproduces the identical race,
+    // message and all.
+    let (steps, reads) = match &min_trace {
+        Trace::V3 { steps, reads, .. } => (steps.clone(), reads.clone()),
+        other => panic!("expected a v3 trace, got {other:?}"),
+    };
+    match replay_schedule::<_, _, QueueRes<u64>, _, _>(
+        &min_ops,
+        &steps,
+        &reads,
+        &weak_opts(true),
+        setup,
+        exec_queue,
+    ) {
+        Err(cds_lincheck::explore::ReplayScheduleError::Panicked(msg)) => {
+            assert_eq!(msg, min_message, "replayed race was not byte-identical");
+        }
+        other => panic!("expected the replay to reproduce the race, got {other:?}"),
+    }
+    let prev = cds_queue::set_relaxed_link(false);
+    assert!(prev);
+}
+
+#[test]
+fn weak_bounded_queue_window() {
+    // Audit window — and the one that caught a real bug. The Vyukov
+    // ring reads its cursors with deliberately Relaxed loads; only the
+    // per-slot sequence stamps carry the hand-off. When this window was
+    // first run, the empty verdict was taken from the stamp alone
+    // (`d < 0 => return None`), and the DFS found in ~20 executions the
+    // history [Enq(1)→true | Enq(2)→true | Deq→None | Deq→Some(1)]: a
+    // dequeuer loses its claim CAS, moves to the next slot, reads that
+    // slot's stamp *stale* (the producer only Release-stored it and
+    // nothing synchronized the reader), and reports empty between two
+    // completed enqueues — unobservable under SC scheduling, non-
+    // linearizable under C11. The fix (SeqCst-corroborated empty/full
+    // verdicts, crossbeam-ArrayQueue style) is what this window now
+    // checks exhaustively: every residual stale read is either absorbed
+    // by the protocol or waited out. The payload cells are plain memory
+    // guarded by the stamps, not epoch pointers, so the region detector
+    // has nothing to observe here; races stay on for uniformity with
+    // the other weak windows.
+    // Every op crosses the shared cursors several times, so almost no
+    // pair of steps is independent and the full 4-op schedule space runs
+    // to millions — like the resizing-map window, this one pins a
+    // deterministic DFS *prefix* instead of exhausting. The original
+    // counterexample surfaced within the first few dozen executions, so
+    // the 50k-execution prefix retains the full regression-catching
+    // power while keeping the suite fast.
+    let opts = ExploreOptions {
+        max_executions: 50_000,
+        ..weak_opts(true)
+    };
+    let ops = [
+        vec![TryQueueOp::Enq(1), TryQueueOp::Deq],
+        vec![TryQueueOp::Enq(2), TryQueueOp::Deq],
+    ];
+    let report = explore(
+        TryQueueSpec::with_capacity(2),
+        &opts,
+        &ops,
+        || cds_queue::BoundedQueue::<u64>::with_capacity(2),
+        exec_try_queue,
+    )
+    .unwrap_or_else(|f| panic!("weak bounded queue window not linearizable: {f:?}"));
+    assert_pinned_capped("bounded_queue_weak", &report, &opts);
 }
 
 // ---------------------------------------------------------------------
@@ -480,7 +918,7 @@ fn explore_resizing_map_migration_and_gap_regression() {
         other => panic!("expected a v2 trace, got {other:?}"),
     };
     assert_eq!(trace.to_string().parse::<Trace>().unwrap(), trace);
-    let replayed = replay_schedule(&ops, &steps, &opts(), map_mid_migration, exec_map)
+    let replayed = replay_schedule(&ops, &steps, &[], &opts(), map_mid_migration, exec_map)
         .expect("replay of the failing schedule diverged");
     assert_eq!(replayed, history, "replay was not byte-identical");
     let prev = cds_map::set_migration_gap(false);
@@ -607,8 +1045,15 @@ fn explore_channel_planted_close_skips_final_drain() {
         Trace::V2 { steps, .. } => steps.clone(),
         other => panic!("expected a v2 trace, got {other:?}"),
     };
-    let replayed = replay_schedule(&ops, &steps, &opts(), cds_chan::unbounded::<u32>, exec_chan)
-        .expect("replay of the failing schedule diverged");
+    let replayed = replay_schedule(
+        &ops,
+        &steps,
+        &[],
+        &opts(),
+        cds_chan::unbounded::<u32>,
+        exec_chan,
+    )
+    .expect("replay of the failing schedule diverged");
     assert_eq!(replayed, history, "replay was not byte-identical");
     let prev = cds_chan::set_close_skips_final_drain(false);
     assert!(prev);

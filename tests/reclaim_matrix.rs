@@ -451,11 +451,11 @@ fn unbounded_channel_under_every_backend() {
 /// `ReclaimGuard::retire` at promotion.
 #[test]
 fn debug_reclaim_catches_use_after_retire_of_old_bucket_array() {
+    use cds_atomic::Ordering;
     use cds_lincheck::prop::{forall_vec, Config, Prng};
     use cds_reclaim::epoch::{Atomic, Owned, Shared};
     use cds_reclaim::{DebugGuard, ReclaimGuard};
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::Ordering;
 
     #[derive(Debug, Clone, Copy)]
     enum Op {

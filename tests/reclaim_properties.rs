@@ -6,7 +6,7 @@
 //! unprotected retirees must be freed, and epoch pins must hold back
 //! collection until released.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use cds_atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cds_lincheck::prop::{forall_vec, Config, Prng};

@@ -8,7 +8,7 @@
 //! quiesces) the counter must equal the number of payloads created —
 //! exactly once each.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use cds_atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cds_core::{ConcurrentQueue, ConcurrentSet, ConcurrentStack};

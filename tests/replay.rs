@@ -7,7 +7,7 @@
 //! with the yield hooks compiled out the race window is a couple of
 //! machine instructions and the schedule below cannot hit it.
 
-use std::sync::atomic::{AtomicI64, Ordering};
+use cds_atomic::{AtomicI64, Ordering};
 
 use cds_lincheck::check_linearizable;
 use cds_lincheck::specs::{CounterOp, CounterSpec};

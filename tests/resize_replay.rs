@@ -7,7 +7,7 @@
 //! the resulting lost-key window, ddmin must shrink it, and the printed
 //! round seed must reproduce it on replay.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use cds_atomic::{AtomicBool, Ordering};
 
 use cds_lincheck::specs::{MapOp, MapRes, MapSpec};
 use cds_lincheck::stress::{replay, stress, StressOptions};

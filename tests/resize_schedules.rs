@@ -19,9 +19,9 @@
 //! `tests/resize_replay.rs`, because its seed-replay assertion is
 //! schedule-sensitive (the `tests/replay.rs` pattern).
 
+use cds_atomic::{AtomicUsize, Ordering};
 use std::collections::BTreeMap;
 use std::hash::{BuildHasher, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cds_core::{ConcurrentMap, ConcurrentSet};
 use cds_lincheck::prop::{forall_vec, Config, Prng};

@@ -315,8 +315,8 @@ fn scheduled_spin_lock_guarded_counters_are_linearizable() {
 /// exact bug the prepare/re-check/commit discipline exists to rule out.
 #[test]
 fn scheduled_parker_eventcount_is_linearizable() {
+    use cds_atomic::{AtomicBool, Ordering};
     use cds_lincheck::specs::{EventcountOp, EventcountRes, EventcountSpec};
-    use std::sync::atomic::{AtomicBool, Ordering};
 
     struct Gate {
         parker: cds_sync::Parker,
@@ -369,8 +369,8 @@ fn scheduled_parker_eventcount_is_linearizable() {
 /// `N` or a round with zero/two leaders.
 #[test]
 fn scheduled_sense_barrier_conserves_rounds() {
+    use cds_atomic::{AtomicUsize, Ordering};
     use cds_core::stress as sched;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     const THREADS: usize = 3;
     const ROUNDS: usize = 6;
@@ -684,11 +684,11 @@ fn lock_based_structures_survive_a_crashed_worker() {
 /// byte-for-byte.
 #[test]
 fn debug_reclaim_catches_and_shrinks_injected_use_after_retire() {
+    use cds_atomic::Ordering;
     use cds_lincheck::prop::{forall_vec, Config, Prng};
     use cds_reclaim::epoch::{Atomic, Owned, Shared};
     use cds_reclaim::{DebugGuard, DebugReclaim, ReclaimGuard, Reclaimer};
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::Ordering;
 
     #[derive(Debug, Clone, Copy)]
     enum Op {
